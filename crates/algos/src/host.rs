@@ -1,0 +1,192 @@
+//! Host-parallel (real multi-threaded) implementations of the suite's
+//! data-driven workloads, built on the concurrent OBIM worklist from
+//! [`minnow_runtime::par`].
+//!
+//! Everything else in this crate runs under the *simulated* machine; these
+//! run on the actual host CPU, demonstrating that the framework's
+//! algorithms are real parallel programs and providing fast answers for
+//! users who just want results.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+use minnow_graph::{Csr, NodeId};
+use minnow_runtime::par::parallel_for_each;
+use minnow_runtime::Task;
+
+/// Host-parallel delta-stepping SSSP. Returns distances (`u64::MAX` =
+/// unreachable).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or `threads == 0`.
+pub fn sssp(graph: &Csr, source: NodeId, lg_delta: u32, threads: usize) -> Vec<u64> {
+    assert!((source as usize) < graph.nodes(), "source out of range");
+    let dist: Vec<AtomicU64> = (0..graph.nodes()).map(|_| AtomicU64::new(u64::MAX)).collect();
+    dist[source as usize].store(0, Ordering::SeqCst);
+    parallel_for_each(vec![Task::new(0, source)], threads, lg_delta, |task, push| {
+        let v = task.node;
+        let d = dist[v as usize].load(Ordering::SeqCst);
+        if d < task.priority {
+            return; // stale
+        }
+        for (_, u, w) in graph.edges_of(v) {
+            let nd = d + w as u64;
+            let mut cur = dist[u as usize].load(Ordering::SeqCst);
+            while nd < cur {
+                match dist[u as usize].compare_exchange(cur, nd, Ordering::SeqCst, Ordering::SeqCst)
+                {
+                    Ok(_) => {
+                        push(Task::new(nd, u));
+                        break;
+                    }
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+    });
+    dist.into_iter().map(|d| d.into_inner()).collect()
+}
+
+/// Host-parallel BFS. Returns hop distances (`u64::MAX` = unreachable).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or `threads == 0`.
+pub fn bfs(graph: &Csr, source: NodeId, threads: usize) -> Vec<u64> {
+    let g = unweight(graph);
+    sssp(&g, source, 0, threads)
+}
+
+fn unweight(graph: &Csr) -> Csr {
+    // BFS = SSSP with unit weights; strip weights if present.
+    if !graph.is_weighted() {
+        return graph.clone();
+    }
+    let mut edges = Vec::with_capacity(graph.edges());
+    for v in 0..graph.nodes() as NodeId {
+        for &u in graph.neighbors(v) {
+            edges.push((v, u));
+        }
+    }
+    Csr::from_edges(graph.nodes(), &edges, None)
+}
+
+/// Host-parallel connected components via min-label propagation. Returns
+/// per-node labels (the minimum node id of each component).
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn connected_components(graph: &Csr, threads: usize) -> Vec<u32> {
+    let label: Vec<AtomicU32> = (0..graph.nodes() as u32).map(AtomicU32::new).collect();
+    let initial: Vec<Task> = (0..graph.nodes() as NodeId)
+        .map(|v| Task::new(v as u64, v))
+        .collect();
+    parallel_for_each(initial, threads, 4, |task, push| {
+        let v = task.node;
+        let l = label[v as usize].load(Ordering::SeqCst);
+        if (l as u64) < task.priority {
+            return;
+        }
+        for &u in graph.neighbors(v) {
+            let mut cur = label[u as usize].load(Ordering::SeqCst);
+            while l < cur {
+                match label[u as usize].compare_exchange(cur, l, Ordering::SeqCst, Ordering::SeqCst)
+                {
+                    Ok(_) => {
+                        push(Task::new(l as u64, u));
+                        break;
+                    }
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+    });
+    label.into_iter().map(|l| l.into_inner()).collect()
+}
+
+/// Host-parallel bipartite check via 2-coloring. Returns `true` iff the
+/// graph is bipartite.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn is_bipartite(graph: &Csr, threads: usize) -> bool {
+    // Colors: 0 = none, 1 = red, 2 = blue.
+    let color: Vec<AtomicU32> = (0..graph.nodes()).map(|_| AtomicU32::new(0)).collect();
+    let conflict = AtomicBool::new(false);
+    let initial: Vec<Task> = (0..graph.nodes() as NodeId).map(|v| Task::new(0, v)).collect();
+    parallel_for_each(initial, threads, 0, |task, push| {
+        let v = task.node;
+        let _ = color[v as usize].compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst);
+        let mine = color[v as usize].load(Ordering::SeqCst);
+        let want = 3 - mine;
+        for &u in graph.neighbors(v) {
+            match color[u as usize].compare_exchange(0, want, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => push(Task::new(0, u)),
+                Err(actual) => {
+                    if actual == mine {
+                        conflict.store(true, Ordering::SeqCst);
+                    }
+                }
+            }
+        }
+    });
+    !conflict.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sssp::Sssp;
+    use minnow_graph::gen::bipartite::{self, BipartiteConfig};
+    use minnow_graph::gen::grid::{self, GridConfig};
+    use minnow_graph::gen::powerlaw::{self, PowerLawConfig};
+
+    #[test]
+    fn host_sssp_matches_dijkstra() {
+        let g = grid::generate(&GridConfig::new(20, 20).weighted(1..=9), 5);
+        let got = sssp(&g, 0, 3, 4);
+        let want = Sssp::reference(&g, 0);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn host_bfs_matches_levels() {
+        let g = grid::generate(&GridConfig::new(15, 15).weighted(1..=9), 2);
+        let got = bfs(&g, 0, 4);
+        let (levels, _, _) = minnow_graph::stats::bfs_levels(&g, 0);
+        for (v, &l) in levels.iter().enumerate() {
+            let want = if l == usize::MAX { u64::MAX } else { l as u64 };
+            assert_eq!(got[v], want, "node {v}");
+        }
+    }
+
+    #[test]
+    fn host_cc_matches_union_find() {
+        let g = powerlaw::generate(&PowerLawConfig::new(800, 4, 1.1), 9);
+        let labels = connected_components(&g, 4);
+        let mut dsu = minnow_graph::dsu::Dsu::new(g.nodes());
+        for v in 0..g.nodes() as NodeId {
+            for &u in g.neighbors(v) {
+                dsu.union(v, u);
+            }
+        }
+        for v in 0..g.nodes() as u32 {
+            for u in 0..g.nodes() as u32 {
+                if dsu.same(v, u) {
+                    assert_eq!(labels[v as usize], labels[u as usize]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn host_bipartite_detects_both_cases() {
+        let good = bipartite::generate(&BipartiteConfig::new(100, 50, 3, 1.0), 3);
+        assert!(is_bipartite(&good, 4));
+        let triangle =
+            Csr::from_edges(3, &[(0, 1), (1, 2), (2, 0)], None).symmetrize();
+        assert!(!is_bipartite(&triangle, 2));
+    }
+}

@@ -1,0 +1,188 @@
+//! The benchmark suite: workloads bound to their Table 2 inputs.
+
+use std::sync::Arc;
+
+use minnow_graph::{inputs, Csr, NodeId};
+use minnow_runtime::Operator;
+
+use crate::{bc::Bc, bfs::Bfs, cc::Cc, pr::PageRank, sssp::Sssp, tc::Tc};
+
+/// The seven paper workloads (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Single-source shortest path on `USA-road-d.W`.
+    Sssp,
+    /// Breadth-first search on `r4-2e23`.
+    Bfs,
+    /// Graph500 BFS on `rmat16-2e22`.
+    G500,
+    /// Connected components on `wikipedia-20051105`.
+    Cc,
+    /// PageRank on `wiki-Talk`.
+    Pr,
+    /// Triangle counting on `com-dblp-sym`.
+    Tc,
+    /// Bipartite coloring on `amazon-ratings`.
+    Bc,
+}
+
+impl WorkloadKind {
+    /// All workloads in the paper's presentation order.
+    pub const ALL: [WorkloadKind; 7] = [
+        WorkloadKind::Sssp,
+        WorkloadKind::Bfs,
+        WorkloadKind::G500,
+        WorkloadKind::Cc,
+        WorkloadKind::Pr,
+        WorkloadKind::Tc,
+        WorkloadKind::Bc,
+    ];
+
+    /// Workload label as in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Sssp => "SSSP",
+            WorkloadKind::Bfs => "BFS",
+            WorkloadKind::G500 => "G500",
+            WorkloadKind::Cc => "CC",
+            WorkloadKind::Pr => "PR",
+            WorkloadKind::Tc => "TC",
+            WorkloadKind::Bc => "BC",
+        }
+    }
+
+    /// The algorithm column of Table 2.
+    pub fn algorithm(self) -> &'static str {
+        match self {
+            WorkloadKind::Sssp => "Single-Source Shortest Path (delta-stepping)",
+            WorkloadKind::Bfs | WorkloadKind::G500 => "Breadth-First Search (push)",
+            WorkloadKind::Cc => "Connected Components (min-label)",
+            WorkloadKind::Pr => "PageRank (push, data-driven)",
+            WorkloadKind::Tc => "Triangle Counting (node-iterator-hashed)",
+            WorkloadKind::Bc => "Bipartite Coloring",
+        }
+    }
+
+    /// The Table 1 input this workload runs on.
+    pub fn input_name(self) -> &'static str {
+        match self {
+            WorkloadKind::Sssp => "USA-road-d.W",
+            WorkloadKind::Bfs => "r4-2e23",
+            WorkloadKind::G500 => "rmat16-2e22",
+            WorkloadKind::Cc => "wikipedia-20051105",
+            WorkloadKind::Pr => "wiki-Talk",
+            WorkloadKind::Tc => "com-dblp-sym",
+            WorkloadKind::Bc => "amazon-ratings",
+        }
+    }
+
+    /// Generates this workload's input analogue at the given scale.
+    pub fn input(self, scale: f64, seed: u64) -> Arc<Csr> {
+        Arc::new(match self {
+            WorkloadKind::Sssp => inputs::usa_road(scale, seed),
+            WorkloadKind::Bfs => inputs::r4(scale, seed + 1),
+            WorkloadKind::G500 => inputs::rmat16(scale, seed + 2),
+            WorkloadKind::Cc => inputs::wikipedia(scale, seed + 3),
+            WorkloadKind::Pr => inputs::wiki_talk(scale, seed + 4),
+            WorkloadKind::Tc => inputs::com_dblp(scale, seed + 5),
+            WorkloadKind::Bc => inputs::amazon_ratings(scale, seed + 6),
+        })
+    }
+
+    /// Builds the operator over a prepared input graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph violates the workload's requirements (e.g. an
+    /// unsorted graph for TC).
+    pub fn operator_on(self, graph: Arc<Csr>) -> Box<dyn Operator + Send> {
+        match self {
+            WorkloadKind::Sssp => Box::new(Sssp::new(graph, 0, 3)),
+            WorkloadKind::Bfs | WorkloadKind::G500 => Box::new(Bfs::new(graph, 0)),
+            WorkloadKind::Cc => Box::new(Cc::new(graph)),
+            WorkloadKind::Pr => Box::new(PageRank::new(graph, 1e-4)),
+            WorkloadKind::Tc => Box::new(Tc::new(graph)),
+            WorkloadKind::Bc => Box::new(Bc::new(graph)),
+        }
+    }
+
+    /// Generates the input and builds the operator in one step.
+    pub fn build(self, scale: f64, seed: u64) -> Box<dyn Operator + Send> {
+        self.operator_on(self.input(scale, seed))
+    }
+
+    /// A BFS source with non-trivial reach (node 0 works for every
+    /// generated analogue; exposed for documentation).
+    pub fn source(self) -> NodeId {
+        0
+    }
+
+    /// The OBIM bucket-interval exponent to program into Minnow engines for
+    /// this workload (derived from the default policy; 0 for unordered
+    /// workloads).
+    pub fn lg_bucket(self) -> u32 {
+        match self.build_policy() {
+            minnow_runtime::PolicyKind::Obim(lg) => lg,
+            _ => 0,
+        }
+    }
+
+    /// The default scheduling policy without building an operator.
+    pub fn build_policy(self) -> minnow_runtime::PolicyKind {
+        match self {
+            WorkloadKind::Sssp => minnow_runtime::PolicyKind::Obim(3),
+            WorkloadKind::Bfs | WorkloadKind::G500 => minnow_runtime::PolicyKind::Obim(0),
+            WorkloadKind::Cc => minnow_runtime::PolicyKind::Obim(4),
+            WorkloadKind::Pr => minnow_runtime::PolicyKind::Obim(2),
+            WorkloadKind::Tc | WorkloadKind::Bc => minnow_runtime::PolicyKind::Chunked(16),
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minnow_runtime::sim_exec::{run_software, ExecConfig};
+
+    #[test]
+    fn every_workload_builds_runs_and_verifies() {
+        for kind in WorkloadKind::ALL {
+            let mut op = kind.build(0.06, 42);
+            let mut cfg = ExecConfig::new(2);
+            cfg.task_limit = 2_000_000;
+            let policy = op.default_policy();
+            let report = run_software(op.as_mut(), policy, &cfg);
+            assert!(!report.timed_out, "{kind} timed out");
+            op.check().unwrap_or_else(|e| panic!("{kind} wrong: {e}"));
+            assert!(report.tasks > 0, "{kind} executed nothing");
+        }
+    }
+
+    #[test]
+    fn names_and_inputs_are_distinct() {
+        let mut names: Vec<&str> = WorkloadKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+        assert_eq!(WorkloadKind::Sssp.to_string(), "SSSP");
+        assert!(WorkloadKind::Tc.algorithm().contains("Triangle"));
+    }
+
+    #[test]
+    fn bfs_and_g500_share_algorithm_but_not_input() {
+        assert_eq!(
+            WorkloadKind::Bfs.algorithm(),
+            WorkloadKind::G500.algorithm()
+        );
+        assert_ne!(
+            WorkloadKind::Bfs.input_name(),
+            WorkloadKind::G500.input_name()
+        );
+    }
+}

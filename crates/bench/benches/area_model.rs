@@ -1,0 +1,30 @@
+//! §5.4 — area estimation: SRAM + control-unit area of one Minnow engine
+//! at 28nm and 14nm, and overhead per Skylake slice.
+
+use minnow_core::area::{engine_sram_bytes, estimate, Process, SKYLAKE_SLICE_MM2};
+use minnow_sim::config::{EngineParams, SimConfig};
+
+fn main() {
+    let params = EngineParams::paper();
+    let l2_lines = SimConfig::paper().l2_lines();
+    println!("Section 5.4: Minnow engine area model\n");
+    println!(
+        "engine SRAM inventory: {} bytes (localQ + threadletQ + loadQ CAM + imem + dmem + L2 prefetch bits)",
+        engine_sram_bytes(&params, l2_lines)
+    );
+    for process in [Process::Nm28, Process::Nm14] {
+        let a = estimate(&params, l2_lines, process);
+        println!(
+            "{process:?}: SRAM {:.4} mm^2, control unit {:.3} mm^2, total {:.3} mm^2",
+            a.sram_mm2,
+            a.logic_mm2,
+            a.total_mm2()
+        );
+    }
+    let a14 = estimate(&params, l2_lines, Process::Nm14);
+    println!(
+        "\nSkylake slice: {SKYLAKE_SLICE_MM2} mm^2 -> overhead {:.2}% per slice (paper: <1%)",
+        a14.slice_overhead() * 100.0
+    );
+    assert!(a14.slice_overhead() < 0.01);
+}

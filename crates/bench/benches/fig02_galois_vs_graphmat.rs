@@ -1,0 +1,46 @@
+//! Fig. 2 — Galois vs GraphMat speedup at 10 threads, normalized to
+//! 1-thread GraphMat.
+//!
+//! Paper shape: GraphMat wins modestly on unordered-friendly workloads
+//! (G500, PR); Galois+OBIM wins by orders of magnitude on SSSP; the
+//! bucketed `GMat*` Delta-Stepping kernel recovers only a small factor.
+
+use minnow_algos::WorkloadKind;
+use minnow_bench::runner::{BenchRun, SchedSpec};
+use minnow_bench::table::{ratio, Table};
+use minnow_runtime::PolicyKind;
+
+fn main() {
+    let threads = 10; // the paper's 10-core Xeon host
+    println!("Fig. 2: speedup at {threads} threads, normalized to 1-thread GraphMat\n");
+    let mut t = Table::new(
+        "fig02_galois_vs_graphmat",
+        &["Workload", "GraphMat", "GMat*", "Galois-FIFO", "Galois-OBIM"],
+    );
+    for kind in WorkloadKind::ALL {
+        let input = BenchRun::new(kind, 1, SchedSpec::Bsp(None)).input();
+        let base = BenchRun::new(kind, 1, SchedSpec::Bsp(None))
+            .execute_on(input.clone())
+            .makespan as f64;
+
+        let cell = |sched: SchedSpec, threads: usize| {
+            let mut run = BenchRun::new(kind, threads, sched);
+            run.task_limit = 600_000;
+            let r = run.execute_on(input.clone());
+            if r.timed_out {
+                "timeout".to_string()
+            } else {
+                ratio(base / r.makespan as f64)
+            }
+        };
+        t.row(vec![
+            kind.name().to_string(),
+            cell(SchedSpec::Bsp(None), threads),
+            cell(SchedSpec::Bsp(Some(kind.lg_bucket() + 3)), threads),
+            cell(SchedSpec::Software(PolicyKind::Chunked(16)), threads),
+            cell(SchedSpec::Software(kind.build_policy()), threads),
+        ]);
+    }
+    t.finish();
+    println!("\npaper shape: SSSP OBIM >> GraphMat (576x there); unordered workloads closer");
+}

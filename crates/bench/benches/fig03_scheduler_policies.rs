@@ -1,0 +1,50 @@
+//! Fig. 3 — runtime of Galois under various scheduling policies,
+//! normalized to GraphMat (lower is better; high bars/timeouts = the
+//! policy never converges in reasonable work).
+
+use minnow_algos::WorkloadKind;
+use minnow_bench::runner::{BenchRun, SchedSpec};
+use minnow_bench::table::Table;
+use minnow_runtime::PolicyKind;
+
+fn main() {
+    let threads = 10;
+    println!("Fig. 3: runtime normalized to GraphMat at {threads} threads (lower is better)\n");
+    let policies: Vec<(&str, PolicyKind)> = vec![
+        ("lifo (Carbon)", PolicyKind::Lifo),
+        ("fifo", PolicyKind::Fifo),
+        ("chunked", PolicyKind::Chunked(16)),
+        ("obim(lg)", PolicyKind::Obim(0)), // replaced per workload below
+        ("obim(lg+3)", PolicyKind::Obim(0)),
+        ("strict", PolicyKind::Strict),
+    ];
+    let mut header = vec!["Workload"];
+    header.extend(policies.iter().map(|(n, _)| *n));
+    let mut t = Table::new("fig03_scheduler_policies", &header);
+
+    for kind in WorkloadKind::ALL {
+        let input = BenchRun::new(kind, 1, SchedSpec::Bsp(None)).input();
+        let gmat = BenchRun::new(kind, threads, SchedSpec::Bsp(None))
+            .execute_on(input.clone())
+            .makespan as f64;
+        let mut row = vec![kind.name().to_string()];
+        for (name, policy) in &policies {
+            let policy = match *name {
+                "obim(lg)" => PolicyKind::Obim(kind.lg_bucket()),
+                "obim(lg+3)" => PolicyKind::Obim(kind.lg_bucket() + 3),
+                _ => *policy,
+            };
+            let mut run = BenchRun::new(kind, threads, SchedSpec::Software(policy));
+            run.task_limit = 400_000;
+            let r = run.execute_on(input.clone());
+            row.push(if r.timed_out {
+                "timeout".into()
+            } else {
+                format!("{:.2}", r.makespan as f64 / gmat)
+            });
+        }
+        t.row(row);
+    }
+    t.finish();
+    println!("\npaper shape: LIFO times out on ordering-sensitive workloads; OBIM variants win");
+}

@@ -1,0 +1,60 @@
+//! Fig. 4 — sensitivity to ROB size (with RS/LQ/SQ scaled proportionally),
+//! normalized to the 256-entry configuration.
+//!
+//! Paper shape: "realistic" (TAGE branch prediction + x86 fencing atomics)
+//! barely improves past 256 entries; removing branch/fence serialization
+//! makes ROB size the limiting factor again, and PR gains up to 5x once
+//! fences go away.
+
+use minnow_algos::WorkloadKind;
+use minnow_bench::runner::BenchRun;
+use minnow_bench::table::Table;
+use minnow_sim::core::CoreMode;
+
+fn main() {
+    let threads = 8; // per-core effect; a few cores keep the sweep fast
+    let robs = [64usize, 128, 256, 512, 1024];
+    let modes = [
+        ("realistic", CoreMode::realistic()),
+        (
+            "perfect-bp",
+            CoreMode {
+                perfect_branch: true,
+                no_fence: false,
+            },
+        ),
+        (
+            "no-fence",
+            CoreMode {
+                perfect_branch: false,
+                no_fence: true,
+            },
+        ),
+        ("ideal", CoreMode::ideal()),
+    ];
+    println!("Fig. 4: speedup vs 256-entry ROB (RS/LQ/SQ scaled with it)\n");
+    let mut header = vec!["Workload".to_string(), "Mode".to_string()];
+    header.extend(robs.iter().map(|r| format!("ROB {r}")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("fig04_rob_sweep", &header_refs);
+
+    for kind in [WorkloadKind::Bfs, WorkloadKind::Sssp, WorkloadKind::Pr, WorkloadKind::Cc] {
+        let input = BenchRun::software_default(kind, threads).input();
+        for (mode_name, mode) in modes {
+            let cycles = |rob: usize| {
+                let mut run = BenchRun::software_default(kind, threads);
+                run.core_mode = mode;
+                run.rob = Some(rob);
+                run.execute_on(input.clone()).makespan as f64
+            };
+            let base = cycles(256);
+            let mut row = vec![kind.name().to_string(), mode_name.to_string()];
+            for rob in robs {
+                row.push(format!("{:.2}", base / cycles(rob)));
+            }
+            t.row(row);
+        }
+    }
+    t.finish();
+    println!("\npaper shape: realistic flat past 256; ideal keeps scaling with ROB");
+}

@@ -1,0 +1,53 @@
+//! Fig. 5 — Galois cycle breakdown at the headline thread count: useful
+//! work vs worklist operations vs memory/serialization stalls.
+//!
+//! Paper shape: only ~28% of cycles are useful work on average; CC is
+//! catastrophically worklist-bound (92%); PR has a large atomic share.
+
+use minnow_algos::WorkloadKind;
+use minnow_bench::max_threads;
+use minnow_bench::runner::BenchRun;
+use minnow_bench::table::{pct, Table};
+
+fn main() {
+    let threads = max_threads();
+    println!("Fig. 5: software-baseline cycle breakdown at {threads} threads\n");
+    let mut t = Table::new(
+        "fig05_overhead_breakdown",
+        &["Workload", "useful", "worklist", "memory", "atomics/fence", "branch"],
+    );
+    let mut sums = [0.0f64; 5];
+    for kind in WorkloadKind::ALL {
+        let r = BenchRun::software_default(kind, threads).execute();
+        let b = r.breakdown;
+        let fr = [
+            b.fraction(b.useful),
+            b.fraction(b.worklist),
+            b.fraction(b.memory),
+            b.fraction(b.fence),
+            b.fraction(b.branch),
+        ];
+        for (s, f) in sums.iter_mut().zip(fr) {
+            *s += f;
+        }
+        t.row(vec![
+            kind.name().to_string(),
+            pct(fr[0]),
+            pct(fr[1]),
+            pct(fr[2]),
+            pct(fr[3]),
+            pct(fr[4]),
+        ]);
+    }
+    let n = WorkloadKind::ALL.len() as f64;
+    t.row(vec![
+        "average".to_string(),
+        pct(sums[0] / n),
+        pct(sums[1] / n),
+        pct(sums[2] / n),
+        pct(sums[3] / n),
+        pct(sums[4] / n),
+    ]);
+    t.finish();
+    println!("\npaper shape: useful ~28% avg; CC worklist-dominated; PR atomic-heavy");
+}

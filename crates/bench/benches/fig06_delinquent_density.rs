@@ -1,0 +1,36 @@
+//! Fig. 6 — delinquent load density: frequently-missing (first-touch graph)
+//! loads as a fraction of all loads.
+//!
+//! Paper shape: ~10% across the suite — the reason big OOO windows expose
+//! so little MLP (§3.4).
+
+use minnow_algos::WorkloadKind;
+use minnow_bench::runner::BenchRun;
+use minnow_bench::table::{pct, Table};
+
+fn main() {
+    println!("Fig. 6: delinquent load density (first graph touches / all loads)\n");
+    let mut t = Table::new(
+        "fig06_delinquent_density",
+        &["Workload", "delinquent loads", "total loads", "density"],
+    );
+    let mut sum = 0.0;
+    for kind in WorkloadKind::ALL {
+        let r = BenchRun::software_default(kind, 8).execute();
+        sum += r.delinquent_density();
+        t.row(vec![
+            kind.name().to_string(),
+            r.delinquent_loads.to_string(),
+            r.total_loads.to_string(),
+            pct(r.delinquent_density()),
+        ]);
+    }
+    t.row(vec![
+        "average".into(),
+        String::new(),
+        String::new(),
+        pct(sum / WorkloadKind::ALL.len() as f64),
+    ]);
+    t.finish();
+    println!("\npaper shape: ~10% average density");
+}

@@ -1,0 +1,40 @@
+//! Fig. 11 — average cycles per worklist enqueue/dequeue operation at the
+//! headline thread count, for the software baseline and for Minnow.
+//!
+//! Paper shape: the engine is touched only every few hundred cycles, so an
+//! aggressive engine front-end is unnecessary; worker-visible op cost under
+//! Minnow is a fraction of the software worklist's.
+
+use minnow_algos::WorkloadKind;
+use minnow_bench::max_threads;
+use minnow_bench::runner::BenchRun;
+use minnow_bench::table::Table;
+
+fn main() {
+    let threads = max_threads();
+    println!("Fig. 11: worklist operation interval and worker-visible cost at {threads} threads\n");
+    let mut t = Table::new(
+        "fig11_worklist_op_interval",
+        &[
+            "Workload",
+            "sw cycles/op",
+            "sw interval",
+            "minnow cycles/op",
+            "minnow interval",
+        ],
+    );
+    for kind in WorkloadKind::ALL {
+        let input = BenchRun::software_default(kind, threads).input();
+        let sw = BenchRun::software_default(kind, threads).execute_on(input.clone());
+        let mn = BenchRun::minnow(kind, threads).execute_on(input);
+        t.row(vec![
+            kind.name().to_string(),
+            format!("{:.0}", sw.sched.mean_op_cost()),
+            format!("{:.0}", sw.op_interval(threads)),
+            format!("{:.0}", mn.sched.mean_op_cost()),
+            format!("{:.0}", mn.op_interval(threads)),
+        ]);
+    }
+    t.finish();
+    println!("\npaper shape: ops every few hundred cycles; Minnow's worker cost ~10 cycles");
+}

@@ -1,0 +1,48 @@
+//! Fig. 16 — overall Minnow speedup over the optimized software baseline
+//! at the headline thread count: offload alone and offload + worklist-
+//! directed prefetching.
+//!
+//! Paper shape: 2.96x average for Minnow without prefetching, 6.01x with;
+//! TC shows the least benefit.
+
+use minnow_algos::WorkloadKind;
+use minnow_bench::headline_threads;
+use minnow_bench::runner::BenchRun;
+use minnow_bench::table::{ratio, Table};
+
+fn main() {
+    let threads = headline_threads();
+    println!("Fig. 16: Minnow speedup over the software baseline at {threads} threads\n");
+    let mut t = Table::new(
+        "fig16_overall_speedup",
+        &["Workload", "Minnow", "Minnow+WDP", "MPKI sw", "MPKI wdp"],
+    );
+    let mut logs = [0.0f64; 2];
+    for kind in WorkloadKind::ALL {
+        let input = BenchRun::software_default(kind, threads).input();
+        let soft = BenchRun::software_default(kind, threads).execute_on(input.clone());
+        let plain = BenchRun::minnow(kind, threads).execute_on(input.clone());
+        let wdp = BenchRun::minnow_wdp(kind, threads).execute_on(input);
+        let s1 = soft.makespan as f64 / plain.makespan as f64;
+        let s2 = soft.makespan as f64 / wdp.makespan as f64;
+        logs[0] += s1.ln();
+        logs[1] += s2.ln();
+        t.row(vec![
+            kind.name().to_string(),
+            ratio(s1),
+            ratio(s2),
+            format!("{:.1}", soft.mpki()),
+            format!("{:.1}", wdp.mpki()),
+        ]);
+    }
+    let n = WorkloadKind::ALL.len() as f64;
+    t.row(vec![
+        "geomean".into(),
+        ratio((logs[0] / n).exp()),
+        ratio((logs[1] / n).exp()),
+        String::new(),
+        String::new(),
+    ]);
+    t.finish();
+    println!("\npaper shape: ~3x offload-only, ~6x with prefetching; TC least");
+}

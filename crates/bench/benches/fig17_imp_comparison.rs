@@ -1,0 +1,38 @@
+//! Fig. 17 — worklist-directed prefetching vs IMP vs a basic stride
+//! prefetcher at 16 threads, normalized to Minnow without prefetching.
+//!
+//! Paper shape: IMP helps on hub-heavy inputs (G500, PR, TC) but behaves
+//! like plain stride elsewhere; low-degree mesh graphs (SSSP, BFS) defeat
+//! its fixed prefetch distance entirely. WDP wins everywhere.
+
+use minnow_algos::WorkloadKind;
+use minnow_bench::runner::{BenchRun, HwKind, SchedSpec};
+use minnow_bench::table::{ratio, Table};
+
+fn main() {
+    let threads = 16;
+    println!("Fig. 17: prefetching speedup vs Minnow-without-prefetching at {threads} threads\n");
+    let mut t = Table::new(
+        "fig17_imp_comparison",
+        &["Workload", "stride", "IMP", "Minnow WDP"],
+    );
+    for kind in WorkloadKind::ALL {
+        let input = BenchRun::minnow(kind, threads).input();
+        let base = BenchRun::minnow(kind, threads).execute_on(input.clone()).makespan as f64;
+        let stride = BenchRun::new(kind, threads, SchedSpec::MinnowWithHw(HwKind::Stride))
+            .execute_on(input.clone())
+            .makespan as f64;
+        let imp = BenchRun::new(kind, threads, SchedSpec::MinnowWithHw(HwKind::Imp))
+            .execute_on(input.clone())
+            .makespan as f64;
+        let wdp = BenchRun::minnow_wdp(kind, threads).execute_on(input).makespan as f64;
+        t.row(vec![
+            kind.name().to_string(),
+            ratio(base / stride),
+            ratio(base / imp),
+            ratio(base / wdp),
+        ]);
+    }
+    t.finish();
+    println!("\npaper shape: WDP > IMP >= stride; IMP ~ stride on low-degree graphs");
+}

@@ -1,0 +1,43 @@
+//! Fig. 18 — L2 misses per kilo-instruction as prefetch credits sweep from
+//! 1 to 256.
+//!
+//! Paper shape: MPKI falls as the prefetcher is allowed further ahead,
+//! bottoms out between 32 and 128 credits (below 1 MPKI for most
+//! workloads), then *rises* again where aggressive prefetching thrashes
+//! the L2 (G500 especially).
+
+use minnow_algos::WorkloadKind;
+use minnow_bench::headline_threads;
+use minnow_bench::runner::{BenchRun, SchedSpec};
+use minnow_bench::table::Table;
+
+const CREDITS: [u32; 6] = [1, 8, 16, 32, 64, 256];
+
+fn main() {
+    let threads = headline_threads().min(16); // credit sweeps are per-core effects
+    println!("Fig. 18: L2 MPKI vs prefetch credits at {threads} threads\n");
+    let mut header = vec!["Workload".to_string(), "no-pf".to_string()];
+    header.extend(CREDITS.iter().map(|c| format!("{c}")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("fig18_mpki_vs_credits", &header_refs);
+
+    for kind in WorkloadKind::ALL {
+        let input = BenchRun::minnow(kind, threads).input();
+        let base = BenchRun::minnow(kind, threads).execute_on(input.clone());
+        let mut row = vec![kind.name().to_string(), format!("{:.1}", base.mpki())];
+        for c in CREDITS {
+            let r = BenchRun::new(
+                kind,
+                threads,
+                SchedSpec::Minnow {
+                    wdp_credits: Some(c),
+                },
+            )
+            .execute_on(input.clone());
+            row.push(format!("{:.1}", r.mpki()));
+        }
+        t.row(row);
+    }
+    t.finish();
+    println!("\npaper shape: minimum between 32 and 128 credits; thrashing beyond");
+}

@@ -1,0 +1,41 @@
+//! Fig. 19 — prefetching speedup vs credit count, relative to Minnow with
+//! prefetching disabled.
+//!
+//! Paper shape: every workload gains (1.4x-2.5x); diminishing returns
+//! around 32-64 credits; G500 degrades past its optimum (hub overflow).
+
+use minnow_algos::WorkloadKind;
+use minnow_bench::headline_threads;
+use minnow_bench::runner::{BenchRun, SchedSpec};
+use minnow_bench::table::Table;
+
+const CREDITS: [u32; 6] = [1, 8, 16, 32, 64, 256];
+
+fn main() {
+    let threads = headline_threads().min(16);
+    println!("Fig. 19: prefetching speedup vs credits at {threads} threads\n");
+    let mut header = vec!["Workload".to_string()];
+    header.extend(CREDITS.iter().map(|c| format!("{c}")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("fig19_speedup_vs_credits", &header_refs);
+
+    for kind in WorkloadKind::ALL {
+        let input = BenchRun::minnow(kind, threads).input();
+        let base = BenchRun::minnow(kind, threads).execute_on(input.clone()).makespan as f64;
+        let mut row = vec![kind.name().to_string()];
+        for c in CREDITS {
+            let r = BenchRun::new(
+                kind,
+                threads,
+                SchedSpec::Minnow {
+                    wdp_credits: Some(c),
+                },
+            )
+            .execute_on(input.clone());
+            row.push(format!("{:.2}", base / r.makespan as f64));
+        }
+        t.row(row);
+    }
+    t.finish();
+    println!("\npaper shape: gains everywhere; knee at 32-64 credits");
+}

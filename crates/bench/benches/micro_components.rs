@@ -1,0 +1,116 @@
+//! Criterion microbenchmarks of the substrate components: worklist
+//! operations, cache model throughput, contention model, graph generation,
+//! and prefetch-program expansion.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use minnow_core::wdp::program_lines;
+use minnow_graph::gen::rmat::{self, RmatConfig};
+use minnow_graph::gen::uniform::{self, UniformConfig};
+use minnow_graph::AddressMap;
+use minnow_runtime::worklist::PolicyKind;
+use minnow_runtime::{PrefetchKind, Task};
+use minnow_sim::cache::Cache;
+use minnow_sim::config::CacheParams;
+use minnow_sim::contend::SharedResource;
+
+fn bench_worklists(c: &mut Criterion) {
+    let mut g = c.benchmark_group("worklist_ops");
+    for kind in [
+        PolicyKind::Fifo,
+        PolicyKind::Chunked(16),
+        PolicyKind::Obim(3),
+        PolicyKind::Strict,
+    ] {
+        g.bench_function(kind.label(), |b| {
+            b.iter_batched(
+                || kind.build(),
+                |mut wl| {
+                    for i in 0..256u64 {
+                        wl.push(Task::new(i * 7 % 64, i as u32));
+                    }
+                    while let Some(t) = wl.pop() {
+                        black_box(t);
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache_access_l2_geometry", |b| {
+        let params = CacheParams {
+            size_bytes: 256 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            latency: 11,
+        };
+        b.iter_batched(
+            || Cache::new(params),
+            |mut cache| {
+                for i in 0..4096u64 {
+                    let addr = (i.wrapping_mul(0x9E3779B97F4A7C15)) & 0xF_FFFF;
+                    if !cache.access(addr, false).hit {
+                        cache.fill(addr, false, false);
+                    }
+                }
+                black_box(cache.stats().misses.get())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_contention(c: &mut Criterion) {
+    c.bench_function("shared_resource_gap_fill", |b| {
+        b.iter_batched(
+            || SharedResource::new(40),
+            |mut r| {
+                for i in 0..512u64 {
+                    black_box(r.acquire((i % 8) as usize, (i * 37) % 10_000, 8));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_graph_gen(c: &mut Criterion) {
+    c.bench_function("gen_uniform_10k", |b| {
+        b.iter(|| black_box(uniform::generate(&UniformConfig::new(10_000, 4), 7)))
+    });
+    c.bench_function("gen_rmat_scale12", |b| {
+        b.iter(|| black_box(rmat::generate(&RmatConfig::graph500(12, 16), 7)))
+    });
+}
+
+fn bench_prefetch_program(c: &mut Criterion) {
+    let graph = uniform::generate(&UniformConfig::new(5_000, 8), 3);
+    let map = AddressMap::standard();
+    c.bench_function("wdp_program_expansion", |b| {
+        b.iter(|| {
+            for v in 0..64u32 {
+                black_box(program_lines(
+                    PrefetchKind::Standard,
+                    &graph,
+                    &map,
+                    &Task::new(0, v),
+                ));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_worklists,
+    bench_cache,
+    bench_contention,
+    bench_graph_gen,
+    bench_prefetch_program
+);
+criterion_main!(benches);

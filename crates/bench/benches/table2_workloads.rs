@@ -1,0 +1,35 @@
+//! Table 2 — benchmark configuration: algorithm, input, single-threaded
+//! baseline cycles. Also prints the Table 3 machine configuration in use.
+
+use minnow_algos::WorkloadKind;
+use minnow_bench::runner::serial_baseline;
+use minnow_bench::table::Table;
+use minnow_bench::{scale, seed};
+use minnow_sim::SimConfig;
+
+fn main() {
+    println!("Table 2: benchmark configuration (serial baseline cycles at scale {:.2})\n", scale());
+    let mut t = Table::new("table2_workloads", &["Workload", "Algorithm", "Input", "Cycles"]);
+    for kind in WorkloadKind::ALL {
+        let cycles = serial_baseline(kind, scale(), seed());
+        t.row(vec![
+            kind.name().to_string(),
+            kind.algorithm().to_string(),
+            kind.input_name().to_string(),
+            format!("{:.2}M", cycles as f64 / 1e6),
+        ]);
+    }
+    t.finish();
+
+    let cfg = SimConfig::paper();
+    println!("\nTable 3: baseline microarchitecture (paper values)");
+    println!("  cores:              {} Skylake-like @ {} GHz", cfg.cores, cfg.ghz);
+    println!("  ROB/RS/LQ/SQ:       {}/{}/{}/{}", cfg.ooo.rob, cfg.ooo.rs, cfg.ooo.load_queue, cfg.ooo.store_queue);
+    println!("  L1D:                {} KB, {}-way, {} cycles", cfg.l1d.size_bytes / 1024, cfg.l1d.ways, cfg.l1d.latency);
+    println!("  L2:                 {} KB, {}-way, {} cycles", cfg.l2.size_bytes / 1024, cfg.l2.ways, cfg.l2.latency);
+    println!("  L3:                 {} MB, {}-way, {} cycles", cfg.l3.size_bytes / (1024 * 1024), cfg.l3.ways, cfg.l3.latency);
+    println!("  NoC:                {0}x{0} mesh, {1} cycles/hop, {2} B/cycle/link", cfg.mesh_width, cfg.noc_hop_cycles, cfg.noc_link_bytes);
+    println!("  DRAM:               {} channels, {} cycles base", cfg.mem_channels, cfg.mem_latency);
+    println!("  Minnow engine:      {}-entry localQ ({} cycles), {}-entry loadQ ({}-cycle wakeup)",
+        cfg.engine.local_queue, cfg.engine.local_queue_latency, cfg.engine.load_buffer, cfg.engine.load_buffer_wakeup);
+}

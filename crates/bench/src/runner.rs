@@ -1,0 +1,237 @@
+//! Experiment runner: one entry point for every scheduler/machine
+//! configuration the figures sweep.
+
+use std::sync::Arc;
+
+use minnow_algos::WorkloadKind;
+use minnow_core::offload::{MinnowConfig, MinnowScheduler};
+use minnow_graph::image::GraphImage;
+use minnow_graph::Csr;
+use minnow_prefetch::{Imp, StridePrefetcher};
+use minnow_runtime::bsp::{run_bsp, BspConfig};
+use minnow_runtime::sim_exec::{run, run_with_prefetcher, ExecConfig, RunReport};
+use minnow_runtime::{PolicyKind, SoftwareScheduler};
+use minnow_sim::core::CoreMode;
+use minnow_sim::hierarchy::MemoryHierarchy;
+use minnow_sim::observer::HwPrefetcher;
+
+/// Which scheduler/executor drives the run.
+#[derive(Debug, Clone)]
+pub enum SchedSpec {
+    /// Galois-like software worklist with the given policy.
+    Software(PolicyKind),
+    /// Minnow offload; `wdp_credits = None` disables prefetching.
+    Minnow {
+        /// Worklist-directed prefetch credits.
+        wdp_credits: Option<u32>,
+    },
+    /// Minnow offload (no WDP) + a table-based hardware prefetcher.
+    MinnowWithHw(HwKind),
+    /// GraphMat-like BSP engine; `Some(lg)` = bucketed `GMat*`.
+    Bsp(Option<u32>),
+}
+
+/// Hardware prefetcher selector for [`SchedSpec::MinnowWithHw`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HwKind {
+    /// Classic stride prefetcher.
+    Stride,
+    /// Indirect memory prefetcher (distance 4, re-tuned per paper §6.3.3).
+    Imp,
+}
+
+/// One experiment configuration.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// Workload.
+    pub kind: WorkloadKind,
+    /// Input scale.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Worker threads (= cores).
+    pub threads: usize,
+    /// Scheduler.
+    pub sched: SchedSpec,
+    /// Core idealization (Fig. 4).
+    pub core_mode: CoreMode,
+    /// Override DRAM channel count (Fig. 21).
+    pub channels: Option<usize>,
+    /// Override ROB size, keeping buffer ratios (Fig. 4).
+    pub rob: Option<usize>,
+    /// Task limit (timeout guard).
+    pub task_limit: u64,
+    /// Serial-baseline accounting (atomics as stores).
+    pub serial_baseline: bool,
+}
+
+impl BenchRun {
+    /// A default configuration for the workload at the harness scale.
+    pub fn new(kind: WorkloadKind, threads: usize, sched: SchedSpec) -> Self {
+        BenchRun {
+            kind,
+            scale: crate::scale(),
+            seed: crate::seed(),
+            threads,
+            sched,
+            core_mode: CoreMode::realistic(),
+            channels: None,
+            rob: None,
+            task_limit: 20_000_000,
+            serial_baseline: false,
+        }
+    }
+
+    /// The workload's paper scheduler as a software run.
+    pub fn software_default(kind: WorkloadKind, threads: usize) -> Self {
+        BenchRun::new(kind, threads, SchedSpec::Software(kind.build_policy()))
+    }
+
+    /// Minnow without prefetching.
+    pub fn minnow(kind: WorkloadKind, threads: usize) -> Self {
+        BenchRun::new(kind, threads, SchedSpec::Minnow { wdp_credits: None })
+    }
+
+    /// Minnow with the paper's 32-credit prefetcher.
+    pub fn minnow_wdp(kind: WorkloadKind, threads: usize) -> Self {
+        BenchRun::new(
+            kind,
+            threads,
+            SchedSpec::Minnow {
+                wdp_credits: Some(32),
+            },
+        )
+    }
+
+    fn exec_config(&self) -> ExecConfig {
+        let mut cfg = ExecConfig::new(self.threads);
+        cfg.core_mode = self.core_mode;
+        cfg.task_limit = self.task_limit;
+        cfg.serial_baseline = self.serial_baseline;
+        if let Some(ch) = self.channels {
+            cfg.sim.mem_channels = ch;
+        }
+        if let Some(rob) = self.rob {
+            cfg.sim.ooo = minnow_sim::config::OooParams::scaled_rob(rob);
+        }
+        cfg
+    }
+
+    /// Generates the input graph for this run.
+    pub fn input(&self) -> Arc<Csr> {
+        self.kind.input(self.scale, self.seed)
+    }
+
+    /// Executes the run.
+    pub fn execute(&self) -> RunReport {
+        self.execute_on(self.input())
+    }
+
+    /// Executes the run on a prepared input (lets sweeps share generation).
+    pub fn execute_on(&self, graph: Arc<Csr>) -> RunReport {
+        let mut op = self.kind.operator_on(graph.clone());
+        let cfg = self.exec_config();
+        match &self.sched {
+            SchedSpec::Software(policy) => {
+                let mut mem = MemoryHierarchy::new(&cfg.sim);
+                let mut sched = SoftwareScheduler::new(policy.build(), self.threads);
+                run(op.as_mut(), &mut sched, &mut mem, &cfg)
+            }
+            SchedSpec::Minnow { wdp_credits } => {
+                let mut mem = MemoryHierarchy::new(&cfg.sim);
+                let mut mc = MinnowConfig::paper(self.kind.lg_bucket());
+                mc.prefetch_credits = *wdp_credits;
+                let mut sched = MinnowScheduler::new(
+                    graph,
+                    op.address_map(),
+                    op.prefetch_kind(),
+                    self.threads,
+                    mc,
+                );
+                run(op.as_mut(), &mut sched, &mut mem, &cfg)
+            }
+            SchedSpec::MinnowWithHw(hw) => {
+                let mut mem = MemoryHierarchy::new(&cfg.sim);
+                let mut sched = MinnowScheduler::new(
+                    graph.clone(),
+                    op.address_map(),
+                    op.prefetch_kind(),
+                    self.threads,
+                    MinnowConfig::no_prefetch(self.kind.lg_bucket()),
+                );
+                let image = GraphImage::new(&graph, op.address_map());
+                let mut pf: Box<dyn HwPrefetcher> = match hw {
+                    HwKind::Stride => Box::new(StridePrefetcher::new(self.threads, 4)),
+                    HwKind::Imp => Box::new(Imp::new(self.threads, 4)),
+                };
+                run_with_prefetcher(
+                    op.as_mut(),
+                    &mut sched,
+                    &mut mem,
+                    Some((pf.as_mut(), &image)),
+                    &cfg,
+                )
+            }
+            SchedSpec::Bsp(lg) => {
+                let mut bsp = BspConfig::new(self.threads);
+                bsp.lg_bucket_interval = *lg;
+                bsp.core_mode = self.core_mode;
+                run_bsp(op.as_mut(), &bsp)
+            }
+        }
+    }
+}
+
+/// Serial-baseline cycles for a workload (the Fig. 15/16 denominator:
+/// 1 thread, the workload's own policy, atomics demoted).
+pub fn serial_baseline(kind: WorkloadKind, scale: f64, seed: u64) -> u64 {
+    let mut run = BenchRun::software_default(kind, 1);
+    run.scale = scale;
+    run.seed = seed;
+    run.serial_baseline = true;
+    run.execute().makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sched_specs_run_a_small_workload() {
+        for sched in [
+            SchedSpec::Software(PolicyKind::Obim(0)),
+            SchedSpec::Minnow { wdp_credits: None },
+            SchedSpec::Minnow {
+                wdp_credits: Some(16),
+            },
+            SchedSpec::MinnowWithHw(HwKind::Stride),
+            SchedSpec::MinnowWithHw(HwKind::Imp),
+            SchedSpec::Bsp(None),
+            SchedSpec::Bsp(Some(0)),
+        ] {
+            let mut run = BenchRun::new(WorkloadKind::Bfs, 2, sched.clone());
+            run.scale = 0.03;
+            let report = run.execute();
+            assert!(!report.timed_out, "{sched:?} timed out");
+            assert!(report.tasks > 0, "{sched:?} did nothing");
+        }
+    }
+
+    #[test]
+    fn serial_baseline_is_positive() {
+        assert!(serial_baseline(WorkloadKind::Cc, 0.03, 1) > 0);
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let mut run = BenchRun::software_default(WorkloadKind::Bfs, 2);
+        run.scale = 0.03;
+        run.channels = Some(1);
+        run.rob = Some(64);
+        let cfg = run.exec_config();
+        assert_eq!(cfg.sim.mem_channels, 1);
+        assert_eq!(cfg.sim.ooo.rob, 64);
+        let r = run.execute();
+        assert!(r.tasks > 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Aligned-table printing and CSV output for experiment results.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A simple column-aligned results table that also lands in a CSV.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table; `name` becomes the CSV file stem.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        Table {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the aligned table to stdout and writes the CSV; returns the
+    /// CSV path when writing succeeded.
+    pub fn finish(&self) -> Option<PathBuf> {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", line(&self.header));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+
+        let dir = PathBuf::from("target/minnow-bench");
+        if std::fs::create_dir_all(&dir).is_err() {
+            return None;
+        }
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut f = std::fs::File::create(&path).ok()?;
+        writeln!(f, "{}", self.header.join(",")).ok()?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(",")).ok()?;
+        }
+        println!("\n[csv] {}", path.display());
+        Some(path)
+    }
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints_and_writes_csv() {
+        let mut t = Table::new("unit_test_table", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let path = t.finish().expect("csv written");
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.contains("a,bb"));
+        assert!(content.contains("1,2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(2.0), "2.00x");
+        assert_eq!(pct(0.5), "50.0%");
+    }
+}

@@ -1,0 +1,145 @@
+//! Credit-based prefetch throttling (paper §5.3.1).
+//!
+//! Each Minnow engine starts with a fixed number of credits — the maximum
+//! number of L2 cache lines its prefetcher may have outstanding/resident.
+//! A credit is consumed per issued prefetch and returned when the marked
+//! line is consumed by a demand access, evicted, or invalidated. The pool
+//! enforces conservation: credits can never exceed the initial allotment.
+
+/// A bounded prefetch credit pool.
+#[derive(Debug, Clone)]
+pub struct CreditPool {
+    total: u32,
+    available: u32,
+    consumed: u64,
+    returned: u64,
+    /// Times a prefetch had to pause for lack of credits.
+    starved: u64,
+}
+
+impl CreditPool {
+    /// Creates a full pool of `total` credits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0` (a creditless prefetcher cannot make progress;
+    /// disable prefetching instead).
+    pub fn new(total: u32) -> Self {
+        assert!(total > 0, "credit pool must be non-empty");
+        CreditPool {
+            total,
+            available: total,
+            consumed: 0,
+            returned: 0,
+            starved: 0,
+        }
+    }
+
+    /// Initial allotment.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Currently available credits.
+    pub fn available(&self) -> u32 {
+        self.available
+    }
+
+    /// Consumes one credit; returns `false` (and records starvation) when
+    /// none are available.
+    pub fn try_consume(&mut self) -> bool {
+        if self.available == 0 {
+            self.starved += 1;
+            return false;
+        }
+        self.available -= 1;
+        self.consumed += 1;
+        true
+    }
+
+    /// Returns `n` credits to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the return would exceed the allotment —
+    /// that would mean a credit was double-returned somewhere.
+    pub fn release(&mut self, n: u32) {
+        debug_assert!(
+            self.available + n <= self.total,
+            "credit over-return: {} + {n} > {}",
+            self.available,
+            self.total
+        );
+        self.available = (self.available + n).min(self.total);
+        self.returned += n as u64;
+    }
+
+    /// Total credits ever consumed.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Total credits ever returned.
+    pub fn returned(&self) -> u64 {
+        self.returned
+    }
+
+    /// Times a prefetch paused for lack of credits.
+    pub fn starvations(&self) -> u64 {
+        self.starved
+    }
+
+    /// Conservation invariant: outstanding = consumed - returned must equal
+    /// total - available. Exposed for property tests.
+    pub fn check_conservation(&self) -> bool {
+        self.consumed - self.returned == (self.total - self.available) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consume_and_release_roundtrip() {
+        let mut p = CreditPool::new(4);
+        assert_eq!(p.available(), 4);
+        assert!(p.try_consume());
+        assert!(p.try_consume());
+        assert_eq!(p.available(), 2);
+        p.release(1);
+        assert_eq!(p.available(), 3);
+        assert!(p.check_conservation());
+    }
+
+    #[test]
+    fn starvation_is_counted() {
+        let mut p = CreditPool::new(1);
+        assert!(p.try_consume());
+        assert!(!p.try_consume());
+        assert!(!p.try_consume());
+        assert_eq!(p.starvations(), 2);
+        p.release(1);
+        assert!(p.try_consume());
+        assert!(p.check_conservation());
+    }
+
+    #[test]
+    fn totals_track_history() {
+        let mut p = CreditPool::new(8);
+        for _ in 0..5 {
+            assert!(p.try_consume());
+        }
+        p.release(3);
+        assert_eq!(p.consumed(), 5);
+        assert_eq!(p.returned(), 3);
+        assert_eq!(p.available(), 6);
+        assert!(p.check_conservation());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_pool_rejected() {
+        let _ = CreditPool::new(0);
+    }
+}

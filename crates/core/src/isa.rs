@@ -1,0 +1,297 @@
+//! The Minnow ISA extension (paper §4.1): a functional model of the five
+//! accelerator instructions, including TLB-miss exceptions.
+//!
+//! Minnow engines cannot handle TLB misses; the instruction that caused one
+//! "throws an exception, leveraging the host processor to properly handle
+//! the miss". [`MinnowDevice`] models that: worklist spill pages must be
+//! mapped before an enqueue/dequeue touching them succeeds, and unmapped
+//! touches raise [`MinnowException::TlbMiss`] for the host to service (via
+//! [`MinnowDevice::handle_tlb_miss`]) before retrying.
+//!
+//! This layer is *functional* (no timing): it nails down the architectural
+//! semantics that the timed model in [`crate::offload`] abstracts, and is
+//! what the failure-injection tests drive.
+
+use std::collections::HashSet;
+
+use minnow_graph::layout;
+use minnow_runtime::worklist::{Obim, Worklist};
+use minnow_runtime::Task;
+
+/// Page size used by the TLB model.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Exceptions a Minnow instruction can raise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MinnowException {
+    /// The engine touched an unmapped page; the host must map it
+    /// ([`MinnowDevice::handle_tlb_miss`]) and retry the instruction.
+    TlbMiss {
+        /// Faulting virtual address.
+        addr: u64,
+    },
+}
+
+impl std::fmt::Display for MinnowException {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MinnowException::TlbMiss { addr } => write!(f, "TLB miss at {addr:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for MinnowException {}
+
+/// A per-core engine's architectural state in the functional model.
+#[derive(Debug, Default)]
+struct CoreState {
+    local: Vec<Task>,
+    local_bucket: u64,
+}
+
+/// Functional model of the Minnow device across all cores.
+#[derive(Debug)]
+pub struct MinnowDevice {
+    cores: Vec<CoreState>,
+    global: Obim,
+    lg_bucket_interval: u32,
+    local_capacity: usize,
+    /// Mapped pages (shared L2 TLB contents, §4).
+    tlb: HashSet<u64>,
+    tlb_misses: u64,
+}
+
+impl MinnowDevice {
+    /// `minnow_init`: initializes engines across all cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    pub fn init(cores: usize, lg_bucket_interval: u32, local_capacity: usize) -> Self {
+        assert!(cores > 0, "need at least one core");
+        MinnowDevice {
+            cores: (0..cores).map(|_| CoreState::default()).collect(),
+            global: Obim::new(lg_bucket_interval),
+            lg_bucket_interval,
+            local_capacity,
+            tlb: HashSet::new(),
+            tlb_misses: 0,
+        }
+    }
+
+    fn page_of(addr: u64) -> u64 {
+        addr / PAGE_BYTES
+    }
+
+    fn touch(&mut self, addr: u64) -> Result<(), MinnowException> {
+        if self.tlb.contains(&Self::page_of(addr)) {
+            Ok(())
+        } else {
+            self.tlb_misses += 1;
+            Err(MinnowException::TlbMiss { addr })
+        }
+    }
+
+    /// Host-side TLB-miss handler: maps the faulting page; the instruction
+    /// can then be retried.
+    pub fn handle_tlb_miss(&mut self, e: MinnowException) {
+        let MinnowException::TlbMiss { addr } = e;
+        self.tlb.insert(Self::page_of(addr));
+    }
+
+    /// TLB misses raised so far.
+    pub fn tlb_misses(&self) -> u64 {
+        self.tlb_misses
+    }
+
+    /// `minnow_enqueue`: enqueues `(priority, ptr)` on `core`'s engine.
+    ///
+    /// # Errors
+    ///
+    /// [`MinnowException::TlbMiss`] when the task spills to an unmapped
+    /// worklist page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn enqueue(
+        &mut self,
+        core: usize,
+        priority: u64,
+        ptr: u32,
+    ) -> Result<(), MinnowException> {
+        let task = Task::new(priority, ptr);
+        let bucket = task.bucket(self.lg_bucket_interval);
+        let state = &mut self.cores[core];
+        if state.local.len() < self.local_capacity
+            && (state.local.is_empty() || bucket <= state.local_bucket)
+        {
+            if state.local.is_empty() {
+                state.local_bucket = bucket;
+            } else {
+                state.local_bucket = state.local_bucket.min(bucket);
+            }
+            state.local.push(task);
+            return Ok(());
+        }
+        // Spill: touches the global worklist's backing memory.
+        let spill_addr = layout::WORKLIST_BASE + bucket * PAGE_BYTES;
+        self.touch(spill_addr)?;
+        self.global.push(task);
+        Ok(())
+    }
+
+    /// `minnow_dequeue`: returns the next task pointer, or `None` when the
+    /// worklist is empty (the core should then run `minnow_done`).
+    ///
+    /// # Errors
+    ///
+    /// [`MinnowException::TlbMiss`] when a global-worklist fill touches an
+    /// unmapped page.
+    pub fn dequeue(&mut self, core: usize) -> Result<Option<Task>, MinnowException> {
+        if let Some(t) = self.take_local(core) {
+            return Ok(Some(t));
+        }
+        // Fill from the global worklist.
+        if let Some(bucket) = self.global.head_bucket() {
+            let fill_addr = layout::WORKLIST_BASE + bucket * PAGE_BYTES;
+            self.touch(fill_addr)?;
+            self.cores[core].local_bucket = bucket;
+            while self.cores[core].local.len() < self.local_capacity {
+                match self.global.head_bucket() {
+                    Some(b) if b == bucket => {
+                        let t = self.global.pop().expect("non-empty head bucket");
+                        self.cores[core].local.push(t);
+                    }
+                    _ => break,
+                }
+            }
+        }
+        Ok(self.take_local(core))
+    }
+
+    fn take_local(&mut self, core: usize) -> Option<Task> {
+        let state = &mut self.cores[core];
+        if state.local.is_empty() {
+            None
+        } else {
+            Some(state.local.remove(0))
+        }
+    }
+
+    /// `minnow_flush`: drains `core`'s local queue into the global worklist
+    /// (core context switch). Returns how many tasks were flushed.
+    ///
+    /// # Errors
+    ///
+    /// [`MinnowException::TlbMiss`] when a spill page is unmapped; handled
+    /// misses leave already-flushed tasks in the global worklist and the
+    /// rest local, so the instruction can be retried.
+    pub fn flush(&mut self, core: usize) -> Result<usize, MinnowException> {
+        let mut flushed = 0;
+        while let Some(&task) = self.cores[core].local.first() {
+            let bucket = task.bucket(self.lg_bucket_interval);
+            let spill_addr = layout::WORKLIST_BASE + bucket * PAGE_BYTES;
+            self.touch(spill_addr)?;
+            self.cores[core].local.remove(0);
+            self.global.push(task);
+            flushed += 1;
+        }
+        self.cores[core].local_bucket = u64::MAX;
+        Ok(flushed)
+    }
+
+    /// `minnow_done`: true when every engine is idle and the global worklist
+    /// is empty.
+    pub fn done(&self) -> bool {
+        self.global.is_empty() && self.cores.iter().all(|c| c.local.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_roundtrip_needs_no_tlb() {
+        let mut d = MinnowDevice::init(2, 2, 4);
+        d.enqueue(0, 5, 7).unwrap();
+        let t = d.dequeue(0).unwrap().unwrap();
+        assert_eq!(t.node, 7);
+        assert_eq!(d.tlb_misses(), 0);
+        assert!(d.done());
+    }
+
+    #[test]
+    fn spill_faults_then_retries() {
+        let mut d = MinnowDevice::init(1, 0, 1);
+        d.enqueue(0, 0, 1).unwrap(); // fills the 1-entry local queue
+        let err = d.enqueue(0, 0, 2).unwrap_err(); // spill -> TLB miss
+        d.handle_tlb_miss(err);
+        d.enqueue(0, 0, 2).unwrap(); // retry succeeds
+        assert_eq!(d.tlb_misses(), 1);
+        assert!(!d.done());
+        assert_eq!(d.dequeue(0).unwrap().unwrap().node, 1);
+        assert_eq!(d.dequeue(0).unwrap().unwrap().node, 2);
+        assert!(d.done());
+    }
+
+    #[test]
+    fn dequeue_pulls_highest_priority_bucket() {
+        let mut d = MinnowDevice::init(1, 1, 1);
+        d.enqueue(0, 9, 1).unwrap(); // local (bucket 4)
+        // These spill; map their pages eagerly by handling the misses.
+        for (p, n) in [(2u64, 2u32), (3, 3)] {
+            if let Err(e) = d.enqueue(0, p, n) {
+                d.handle_tlb_miss(e);
+                d.enqueue(0, p, n).unwrap();
+            }
+        }
+        // Local task drains first, then the urgent bucket (1) from global.
+        assert_eq!(d.dequeue(0).unwrap().unwrap().node, 1);
+        let next = match d.dequeue(0) {
+            Ok(t) => t,
+            Err(e) => {
+                d.handle_tlb_miss(e);
+                d.dequeue(0).unwrap()
+            }
+        };
+        assert_eq!(next.unwrap().priority, 2);
+    }
+
+    #[test]
+    fn flush_moves_everything_global_and_is_retryable() {
+        let mut d = MinnowDevice::init(2, 0, 8);
+        d.enqueue(0, 1, 1).unwrap();
+        d.enqueue(0, 1, 2).unwrap();
+        let err = d.flush(0).unwrap_err();
+        d.handle_tlb_miss(err);
+        let flushed = d.flush(0).unwrap();
+        assert_eq!(flushed, 2);
+        // Core 1 can now pick the work up.
+        let got = match d.dequeue(1) {
+            Ok(t) => t,
+            Err(e) => {
+                d.handle_tlb_miss(e);
+                d.dequeue(1).unwrap()
+            }
+        };
+        assert_eq!(got.unwrap().node, 1);
+    }
+
+    #[test]
+    fn done_tracks_all_queues() {
+        let mut d = MinnowDevice::init(2, 0, 4);
+        assert!(d.done());
+        d.enqueue(1, 0, 3).unwrap();
+        assert!(!d.done());
+        d.dequeue(1).unwrap();
+        assert!(d.done());
+    }
+
+    #[test]
+    fn exception_display() {
+        let e = MinnowException::TlbMiss { addr: 0x1000 };
+        assert_eq!(e.to_string(), "TLB miss at 0x1000");
+    }
+}

@@ -1,0 +1,311 @@
+//! Threadlet queue with reservation-based deadlock avoidance (paper §5.3.2).
+//!
+//! Threadlets are short engine-side threads that may spawn further
+//! threadlets (`prefetchTask` spawns one `prefetchEdge` per edge). Because
+//! prefetches can stall on credits and spawns can stall on a full queue,
+//! the paper requires every threadlet to reserve, *before it is created*,
+//! one queue/context/load-buffer entry for itself plus its maximum spawn
+//! depth. Entries are released only at completion, so a context switch can
+//! always find a runnable threadlet and the engine never deadlocks.
+//!
+//! [`ThreadletQueue`] enforces exactly that discipline and is exercised by
+//! the failure-injection tests (queue exhaustion, over-depth spawn
+//! attempts).
+
+/// Why a spawn or reservation was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadletError {
+    /// Not enough free entries to admit the reservation; the caller must
+    /// context switch and retry after completions free entries.
+    QueueFull,
+    /// A threadlet tried to spawn deeper than it reserved for.
+    DepthExceeded,
+    /// Completion/spawn referenced an unknown reservation.
+    UnknownReservation,
+}
+
+impl std::fmt::Display for ThreadletError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThreadletError::QueueFull => write!(f, "threadlet queue full"),
+            ThreadletError::DepthExceeded => write!(f, "spawn depth exceeds reservation"),
+            ThreadletError::UnknownReservation => write!(f, "unknown threadlet reservation"),
+        }
+    }
+}
+
+impl std::error::Error for ThreadletError {}
+
+/// Handle to an admitted root threadlet's reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReservationId(u64);
+
+#[derive(Debug)]
+struct Reservation {
+    /// Entries reserved (1 for the root + spawn depth).
+    entries: u32,
+    /// Children spawned and not yet completed.
+    live_children: u32,
+    /// Children the root may still spawn concurrently
+    /// (= entries - 1 - live_children).
+    root_done: bool,
+}
+
+/// Bounded threadlet admission control.
+///
+/// Capacity models the union of the hardware structures a threadlet needs:
+/// threadlet-queue slot, context-buffer slot (64B in data memory), and a
+/// load-buffer entry (paper §5.1: "Each threadlet must reserve an entry in
+/// the threadlet queue, context buffer, and load buffer for itself prior to
+/// being created").
+#[derive(Debug)]
+pub struct ThreadletQueue {
+    capacity: u32,
+    reserved: u32,
+    next_id: u64,
+    reservations: std::collections::HashMap<u64, Reservation>,
+    admitted: u64,
+    rejected: u64,
+}
+
+impl ThreadletQueue {
+    /// Creates an empty queue with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "threadlet queue needs capacity");
+        ThreadletQueue {
+            capacity,
+            reserved: 0,
+            next_id: 0,
+            reservations: std::collections::HashMap::new(),
+            admitted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Entries currently reserved.
+    pub fn reserved(&self) -> u32 {
+        self.reserved
+    }
+
+    /// Free entries.
+    pub fn free(&self) -> u32 {
+        self.capacity - self.reserved
+    }
+
+    /// Admits a root threadlet that may spawn children `spawn_depth` deep
+    /// concurrently. Reserves `1 + spawn_depth` entries up front.
+    ///
+    /// # Errors
+    ///
+    /// [`ThreadletError::QueueFull`] when the reservation does not fit —
+    /// the engine should context switch and retry later;
+    /// [`ThreadletError::DepthExceeded`] when the requested depth cannot
+    /// ever fit the queue (programmer error the paper guards against:
+    /// "the max threadlet spawn depth [must be] less than the threadlet
+    /// queue size").
+    pub fn admit(&mut self, spawn_depth: u32) -> Result<ReservationId, ThreadletError> {
+        let entries = 1 + spawn_depth;
+        if entries > self.capacity {
+            return Err(ThreadletError::DepthExceeded);
+        }
+        if self.reserved + entries > self.capacity {
+            self.rejected += 1;
+            return Err(ThreadletError::QueueFull);
+        }
+        self.reserved += entries;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.reservations.insert(
+            id,
+            Reservation {
+                entries,
+                live_children: 0,
+                root_done: false,
+            },
+        );
+        self.admitted += 1;
+        Ok(ReservationId(id))
+    }
+
+    /// Spawns a child under an existing reservation (uses a pre-reserved
+    /// entry; never allocates new ones).
+    ///
+    /// # Errors
+    ///
+    /// [`ThreadletError::DepthExceeded`] if all reserved child entries are
+    /// in use; [`ThreadletError::UnknownReservation`] for a stale id.
+    pub fn spawn_child(&mut self, id: ReservationId) -> Result<(), ThreadletError> {
+        let r = self
+            .reservations
+            .get_mut(&id.0)
+            .ok_or(ThreadletError::UnknownReservation)?;
+        if r.live_children + 1 > r.entries - 1 {
+            return Err(ThreadletError::DepthExceeded);
+        }
+        r.live_children += 1;
+        Ok(())
+    }
+
+    /// Completes one child of the reservation.
+    ///
+    /// # Errors
+    ///
+    /// [`ThreadletError::UnknownReservation`] if the id is stale or has no
+    /// live children.
+    pub fn complete_child(&mut self, id: ReservationId) -> Result<(), ThreadletError> {
+        let r = self
+            .reservations
+            .get_mut(&id.0)
+            .ok_or(ThreadletError::UnknownReservation)?;
+        if r.live_children == 0 {
+            return Err(ThreadletError::UnknownReservation);
+        }
+        r.live_children -= 1;
+        self.try_release(id);
+        Ok(())
+    }
+
+    /// Marks the root threadlet complete; the reservation is released once
+    /// all children have also completed.
+    ///
+    /// # Errors
+    ///
+    /// [`ThreadletError::UnknownReservation`] for a stale id.
+    pub fn complete_root(&mut self, id: ReservationId) -> Result<(), ThreadletError> {
+        let r = self
+            .reservations
+            .get_mut(&id.0)
+            .ok_or(ThreadletError::UnknownReservation)?;
+        r.root_done = true;
+        self.try_release(id);
+        Ok(())
+    }
+
+    fn try_release(&mut self, id: ReservationId) {
+        let done = match self.reservations.get(&id.0) {
+            Some(r) => r.root_done && r.live_children == 0,
+            None => false,
+        };
+        if done {
+            let r = self.reservations.remove(&id.0).expect("checked above");
+            self.reserved -= r.entries;
+        }
+    }
+
+    /// Roots ever admitted.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Admissions refused because the queue was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Deadlock-freedom invariant: with every reservation released the queue
+    /// must be empty again. Exposed for property tests.
+    pub fn is_quiescent(&self) -> bool {
+        self.reservations.is_empty() && self.reserved == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admit_reserves_depth_plus_one() {
+        let mut q = ThreadletQueue::new(8);
+        let id = q.admit(2).unwrap();
+        assert_eq!(q.reserved(), 3);
+        q.complete_root(id).unwrap();
+        assert!(q.is_quiescent());
+    }
+
+    #[test]
+    fn children_use_reserved_entries_only() {
+        let mut q = ThreadletQueue::new(8);
+        let id = q.admit(2).unwrap();
+        q.spawn_child(id).unwrap();
+        q.spawn_child(id).unwrap();
+        // Third child exceeds the reservation.
+        assert_eq!(q.spawn_child(id), Err(ThreadletError::DepthExceeded));
+        q.complete_child(id).unwrap();
+        q.spawn_child(id).unwrap(); // freed entry is reusable
+        q.complete_child(id).unwrap();
+        q.complete_child(id).unwrap();
+        q.complete_root(id).unwrap();
+        assert!(q.is_quiescent());
+    }
+
+    #[test]
+    fn full_queue_rejects_new_roots_until_completion() {
+        let mut q = ThreadletQueue::new(4);
+        let a = q.admit(1).unwrap(); // 2 entries
+        let _b = q.admit(1).unwrap(); // 2 entries -> full
+        assert_eq!(q.admit(0), Err(ThreadletError::QueueFull));
+        assert_eq!(q.rejected(), 1);
+        q.complete_root(a).unwrap();
+        assert!(q.admit(0).is_ok());
+    }
+
+    #[test]
+    fn impossible_depth_is_programmer_error() {
+        let mut q = ThreadletQueue::new(4);
+        assert_eq!(q.admit(4), Err(ThreadletError::DepthExceeded));
+        // Not counted as transient rejection.
+        assert_eq!(q.rejected(), 0);
+    }
+
+    #[test]
+    fn root_completion_waits_for_children() {
+        let mut q = ThreadletQueue::new(8);
+        let id = q.admit(3).unwrap();
+        q.spawn_child(id).unwrap();
+        q.complete_root(id).unwrap();
+        assert!(!q.is_quiescent(), "child still live");
+        q.complete_child(id).unwrap();
+        assert!(q.is_quiescent());
+        // Stale handle now errors.
+        assert_eq!(q.spawn_child(id), Err(ThreadletError::UnknownReservation));
+    }
+
+    #[test]
+    fn prefetch_task_pattern_never_deadlocks() {
+        // prefetchTask reserves 2 entries: itself + one prefetchEdge at a
+        // time (paper §5.3.2). Simulate many concurrent tasks on a small
+        // queue: admissions may be refused but progress always continues.
+        let mut q = ThreadletQueue::new(16);
+        let mut live = Vec::new();
+        let mut completed = 0;
+        for step in 0..1000 {
+            if step % 3 == 0 {
+                if let Ok(id) = q.admit(1) {
+                    q.spawn_child(id).unwrap();
+                    live.push(id);
+                }
+            } else if let Some(id) = live.pop() {
+                q.complete_child(id).unwrap();
+                q.complete_root(id).unwrap();
+                completed += 1;
+            }
+        }
+        for id in live.drain(..) {
+            q.complete_child(id).unwrap();
+            q.complete_root(id).unwrap();
+            completed += 1;
+        }
+        assert!(completed > 0);
+        assert!(q.is_quiescent());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert_eq!(ThreadletError::QueueFull.to_string(), "threadlet queue full");
+        assert!(ThreadletError::DepthExceeded.to_string().contains("depth"));
+    }
+}

@@ -1,0 +1,160 @@
+//! End-to-end validation of worklist offload + worklist-directed
+//! prefetching against the software baseline, using a self-contained
+//! BFS-like workload (the real paper workloads live in `minnow-algos`).
+
+use std::sync::Arc;
+
+use minnow_core::offload::{MinnowConfig, MinnowScheduler};
+use minnow_graph::gen::uniform::{self, UniformConfig};
+use minnow_graph::{AddressMap, Csr};
+use minnow_runtime::sim_exec::{run, ExecConfig, RunReport};
+use minnow_runtime::{Operator, PolicyKind, PrefetchKind, SoftwareScheduler, Task, TaskCtx};
+use minnow_sim::hierarchy::MemoryHierarchy;
+
+#[derive(Debug)]
+struct Bfs {
+    graph: Arc<Csr>,
+    dist: Vec<u64>,
+}
+
+impl Bfs {
+    fn new(graph: Arc<Csr>) -> Self {
+        let n = graph.nodes();
+        Bfs {
+            graph,
+            dist: vec![u64::MAX; n],
+        }
+    }
+}
+
+impl Operator for Bfs {
+    fn name(&self) -> &'static str {
+        "bfs-e2e"
+    }
+    fn graph(&self) -> &Arc<Csr> {
+        &self.graph
+    }
+    fn initial_tasks(&self) -> Vec<Task> {
+        vec![Task::new(0, 0)]
+    }
+    fn default_policy(&self) -> PolicyKind {
+        PolicyKind::Obim(0)
+    }
+    fn prefetch_kind(&self) -> PrefetchKind {
+        PrefetchKind::Standard
+    }
+    fn execute(&mut self, task: Task, ctx: &mut TaskCtx) {
+        let v = task.node;
+        ctx.load_node(v);
+        ctx.add_instrs(12);
+        if self.dist[v as usize] > task.priority {
+            self.dist[v as usize] = task.priority;
+            ctx.store_node(v);
+        } else if self.dist[v as usize] < task.priority {
+            return;
+        }
+        let d = self.dist[v as usize];
+        let graph = self.graph.clone();
+        let base = graph.edge_range(v).start;
+        for slot in task.resolve_range(graph.out_degree(v)) {
+            let e = base + slot;
+            let n = graph.edge_dst(e);
+            ctx.load_edge(e, n);
+            ctx.load_node(n);
+            ctx.add_branches(1);
+            ctx.add_instrs(9);
+            if self.dist[n as usize] > d + 1 {
+                self.dist[n as usize] = d + 1;
+                ctx.atomic_node(n);
+                ctx.push(Task::new(d + 1, n));
+            }
+        }
+    }
+}
+
+fn graph() -> Arc<Csr> {
+    Arc::new(uniform::generate(&UniformConfig::new(3000, 4), 11))
+}
+
+fn run_software_cfg(threads: usize) -> (RunReport, Vec<u64>) {
+    let cfg = ExecConfig::new(threads);
+    let mut op = Bfs::new(graph());
+    let mut mem = MemoryHierarchy::new(&cfg.sim);
+    let mut sched = SoftwareScheduler::new(PolicyKind::Obim(0).build(), threads);
+    let r = run(&mut op, &mut sched, &mut mem, &cfg);
+    (r, op.dist)
+}
+
+fn run_minnow(threads: usize, minnow: MinnowConfig) -> (RunReport, Vec<u64>) {
+    let cfg = ExecConfig::new(threads);
+    let g = graph();
+    let mut op = Bfs::new(g.clone());
+    let mut mem = MemoryHierarchy::new(&cfg.sim);
+    let mut sched = MinnowScheduler::new(
+        g,
+        AddressMap::standard(),
+        PrefetchKind::Standard,
+        threads,
+        minnow,
+    );
+    let r = run(&mut op, &mut sched, &mut mem, &cfg);
+    (r, op.dist)
+}
+
+#[test]
+fn all_executors_agree_on_distances() {
+    let (_, soft) = run_software_cfg(4);
+    let (_, minnow) = run_minnow(4, MinnowConfig::no_prefetch(0));
+    let (_, wdp) = run_minnow(4, MinnowConfig::paper(0));
+    let g = graph();
+    let (levels, _, _) = minnow_graph::stats::bfs_levels(&g, 0);
+    for (v, &l) in levels.iter().enumerate() {
+        let expect = if l == usize::MAX { u64::MAX } else { l as u64 };
+        assert_eq!(soft[v], expect, "software wrong at node {v}");
+        assert_eq!(minnow[v], expect, "minnow wrong at node {v}");
+        assert_eq!(wdp[v], expect, "minnow+wdp wrong at node {v}");
+    }
+}
+
+#[test]
+fn offload_cuts_worklist_cycles() {
+    let (soft, _) = run_software_cfg(8);
+    let (minnow, _) = run_minnow(8, MinnowConfig::no_prefetch(0));
+    assert!(!soft.timed_out && !minnow.timed_out);
+    let soft_frac = soft.breakdown.fraction(soft.breakdown.worklist);
+    let minnow_frac = minnow.breakdown.fraction(minnow.breakdown.worklist);
+    assert!(
+        minnow_frac < soft_frac,
+        "worklist share must drop: software {soft_frac:.3} vs minnow {minnow_frac:.3}"
+    );
+    assert!(
+        minnow.makespan < soft.makespan,
+        "offload must be faster: {} vs {}",
+        minnow.makespan,
+        soft.makespan
+    );
+}
+
+#[test]
+fn wdp_cuts_l2_mpki_and_makespan() {
+    let (plain, _) = run_minnow(8, MinnowConfig::no_prefetch(0));
+    let (wdp, _) = run_minnow(8, MinnowConfig::paper(0));
+    assert!(
+        wdp.mpki() < plain.mpki() * 0.7,
+        "WDP must cut MPKI: {:.2} vs {:.2}",
+        wdp.mpki(),
+        plain.mpki()
+    );
+    assert!(
+        wdp.makespan < plain.makespan,
+        "WDP must be faster: {} vs {}",
+        wdp.makespan,
+        plain.makespan
+    );
+    assert!(wdp.prefetch_fills > 0);
+    assert!(
+        wdp.prefetch_efficiency() > 0.8,
+        "efficiency {:.3}",
+        wdp.prefetch_efficiency()
+    );
+}

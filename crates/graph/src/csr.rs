@@ -1,0 +1,367 @@
+//! Compressed sparse row (CSR) graph representation.
+//!
+//! The paper stores inputs "in memory in standard CSR format, with 32B nodes
+//! (64B for TC) and 16B edges" (§6.2). This module provides the logical CSR;
+//! [`crate::layout`] maps it onto simulated addresses.
+
+use std::ops::Range;
+
+/// Node identifier. All generated graphs fit comfortably in 32 bits.
+pub type NodeId = u32;
+
+/// A directed graph in CSR form with optional `u32` edge weights.
+///
+/// Invariants (checked in debug builds and by the property-test suite):
+/// * `row_ptr` has `nodes() + 1` entries, is monotonically non-decreasing,
+///   starts at 0, and ends at `edges()`,
+/// * every column entry is `< nodes()`,
+/// * `weights` is either empty or exactly `edges()` long.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    row_ptr: Vec<u64>,
+    col: Vec<NodeId>,
+    weights: Vec<u32>,
+    sorted: bool,
+}
+
+impl Csr {
+    /// Builds a CSR from an edge list. Edges keep their relative order
+    /// within each source node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= nodes`, or if `weights` is `Some` with a
+    /// length different from `edges.len()`.
+    pub fn from_edges(nodes: usize, edges: &[(NodeId, NodeId)], weights: Option<&[u32]>) -> Self {
+        if let Some(w) = weights {
+            assert_eq!(w.len(), edges.len(), "one weight per edge required");
+        }
+        let mut degree = vec![0u64; nodes];
+        for &(u, v) in edges {
+            assert!((u as usize) < nodes, "source {u} out of range");
+            assert!((v as usize) < nodes, "target {v} out of range");
+            degree[u as usize] += 1;
+        }
+        let mut row_ptr = Vec::with_capacity(nodes + 1);
+        let mut acc = 0u64;
+        row_ptr.push(0);
+        for d in &degree {
+            acc += d;
+            row_ptr.push(acc);
+        }
+        let mut cursor: Vec<u64> = row_ptr[..nodes].to_vec();
+        let mut col = vec![0 as NodeId; edges.len()];
+        let mut out_w = if weights.is_some() {
+            vec![0u32; edges.len()]
+        } else {
+            Vec::new()
+        };
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            let slot = cursor[u as usize] as usize;
+            col[slot] = v;
+            if let Some(w) = weights {
+                out_w[slot] = w[i];
+            }
+            cursor[u as usize] += 1;
+        }
+        Csr {
+            row_ptr,
+            col,
+            weights: out_w,
+            sorted: false,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn edges(&self) -> usize {
+        self.col.len()
+    }
+
+    /// Whether edge weights are present.
+    pub fn is_weighted(&self) -> bool {
+        !self.weights.is_empty()
+    }
+
+    /// Whether every adjacency list is sorted (enables [`Csr::has_edge`]).
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        let r = self.edge_range(v);
+        r.end - r.start
+    }
+
+    /// Range of edge indices belonging to `v`.
+    pub fn edge_range(&self, v: NodeId) -> Range<usize> {
+        let v = v as usize;
+        assert!(v < self.nodes(), "node {v} out of range");
+        self.row_ptr[v] as usize..self.row_ptr[v + 1] as usize
+    }
+
+    /// Neighbors of `v` as a slice.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.col[self.edge_range(v)]
+    }
+
+    /// Destination of edge index `e`.
+    pub fn edge_dst(&self, e: usize) -> NodeId {
+        self.col[e]
+    }
+
+    /// Weight of edge index `e` (1 for unweighted graphs).
+    pub fn edge_weight(&self, e: usize) -> u32 {
+        if self.weights.is_empty() {
+            1
+        } else {
+            self.weights[e]
+        }
+    }
+
+    /// Iterates `(edge_index, dst, weight)` for node `v`.
+    pub fn edges_of(&self, v: NodeId) -> impl Iterator<Item = (usize, NodeId, u32)> + '_ {
+        self.edge_range(v)
+            .map(move |e| (e, self.col[e], self.edge_weight(e)))
+    }
+
+    /// Sorts every adjacency list (with its weights) ascending by target,
+    /// enabling binary-search membership tests.
+    pub fn sort_adjacency(&mut self) {
+        for v in 0..self.nodes() {
+            let r = self.row_ptr[v] as usize..self.row_ptr[v + 1] as usize;
+            if self.weights.is_empty() {
+                self.col[r].sort_unstable();
+            } else {
+                let mut pairs: Vec<(NodeId, u32)> = self.col[r.clone()]
+                    .iter()
+                    .copied()
+                    .zip(self.weights[r.clone()].iter().copied())
+                    .collect();
+                pairs.sort_unstable_by_key(|p| p.0);
+                for (i, (c, w)) in pairs.into_iter().enumerate() {
+                    self.col[r.start + i] = c;
+                    self.weights[r.start + i] = w;
+                }
+            }
+        }
+        self.sorted = true;
+    }
+
+    /// Binary-search membership test (the TC inner loop, paper §6.1).
+    ///
+    /// Returns the probed edge indices (for memory-trace generation) and
+    /// whether the edge exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adjacency lists have not been sorted via
+    /// [`Csr::sort_adjacency`].
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> (bool, Vec<usize>) {
+        assert!(self.sorted, "has_edge requires sorted adjacency");
+        let r = self.edge_range(u);
+        let mut probes = Vec::new();
+        let (mut lo, mut hi) = (r.start, r.end);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            probes.push(mid);
+            match self.col[mid].cmp(&v) {
+                std::cmp::Ordering::Equal => return (true, probes),
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        (false, probes)
+    }
+
+    /// Returns the symmetric closure of this graph (each directed edge gets
+    /// its reverse, duplicates removed). Weights are carried over; when both
+    /// directions exist with different weights the smaller wins.
+    pub fn symmetrize(&self) -> Csr {
+        let mut pairs: Vec<(NodeId, NodeId, u32)> = Vec::with_capacity(self.edges() * 2);
+        for v in 0..self.nodes() as NodeId {
+            for (_, dst, w) in self.edges_of(v) {
+                pairs.push((v, dst, w));
+                pairs.push((dst, v, w));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup_by(|a, b| {
+            if a.0 == b.0 && a.1 == b.1 {
+                b.2 = b.2.min(a.2);
+                true
+            } else {
+                false
+            }
+        });
+        let edges: Vec<(NodeId, NodeId)> = pairs.iter().map(|&(u, v, _)| (u, v)).collect();
+        let weights: Vec<u32> = pairs.iter().map(|&(_, _, w)| w).collect();
+        let mut g = if self.is_weighted() {
+            Csr::from_edges(self.nodes(), &edges, Some(&weights))
+        } else {
+            Csr::from_edges(self.nodes(), &edges, None)
+        };
+        g.sorted = true; // built from a sorted, deduped pair list
+        g
+    }
+
+    /// Largest out-degree and the node that has it; `(0, 0)` for an empty
+    /// graph.
+    pub fn max_degree(&self) -> (NodeId, usize) {
+        let mut best = (0 as NodeId, 0usize);
+        for v in 0..self.nodes() as NodeId {
+            let d = self.out_degree(v);
+            if d > best.1 {
+                best = (v, d);
+            }
+        }
+        best
+    }
+
+    /// Validates the CSR invariants, returning a description of the first
+    /// violation. Used by property tests and the generator test-suite.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.row_ptr.is_empty() {
+            return Err("row_ptr must have at least one entry".into());
+        }
+        if self.row_ptr[0] != 0 {
+            return Err("row_ptr must start at 0".into());
+        }
+        if *self.row_ptr.last().unwrap() != self.col.len() as u64 {
+            return Err("row_ptr must end at edge count".into());
+        }
+        if self.row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err("row_ptr must be non-decreasing".into());
+        }
+        let n = self.nodes() as NodeId;
+        if let Some(bad) = self.col.iter().find(|&&c| c >= n) {
+            return Err(format!("column {bad} out of range (n={n})"));
+        }
+        if !self.weights.is_empty() && self.weights.len() != self.col.len() {
+            return Err("weights length must match edges".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        // 0 -> {1,2}, 1 -> {3}, 2 -> {3}, 3 -> {}
+        Csr::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)], None)
+    }
+
+    #[test]
+    fn from_edges_builds_correct_adjacency() {
+        let g = diamond();
+        assert_eq!(g.nodes(), 4);
+        assert_eq!(g.edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[3]);
+        assert_eq!(g.neighbors(3), &[] as &[NodeId]);
+        assert_eq!(g.out_degree(0), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn weights_follow_their_edges() {
+        let g = Csr::from_edges(3, &[(0, 2), (0, 1), (1, 0)], Some(&[7, 3, 9]));
+        assert!(g.is_weighted());
+        let got: Vec<(NodeId, u32)> = g.edges_of(0).map(|(_, d, w)| (d, w)).collect();
+        assert_eq!(got, vec![(2, 7), (1, 3)]);
+        assert_eq!(g.edge_weight(2), 9);
+    }
+
+    #[test]
+    fn unweighted_edges_weigh_one() {
+        let g = diamond();
+        assert_eq!(g.edge_weight(0), 1);
+    }
+
+    #[test]
+    fn sort_adjacency_enables_binary_search() {
+        let mut g = Csr::from_edges(5, &[(0, 4), (0, 1), (0, 3), (1, 2)], None);
+        g.sort_adjacency();
+        assert!(g.is_sorted());
+        assert_eq!(g.neighbors(0), &[1, 3, 4]);
+        let (found, probes) = g.has_edge(0, 3);
+        assert!(found);
+        assert!(!probes.is_empty());
+        let (found, _) = g.has_edge(0, 2);
+        assert!(!found);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn has_edge_requires_sorting() {
+        let g = diamond();
+        let _ = g.has_edge(0, 1);
+    }
+
+    #[test]
+    fn sort_adjacency_keeps_weights_attached() {
+        let mut g = Csr::from_edges(2, &[(0, 1), (0, 0)], Some(&[5, 2]));
+        g.sort_adjacency();
+        let got: Vec<(NodeId, u32)> = g.edges_of(0).map(|(_, d, w)| (d, w)).collect();
+        assert_eq!(got, vec![(0, 2), (1, 5)]);
+    }
+
+    #[test]
+    fn symmetrize_adds_reverse_edges_once() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 0), (1, 2)], None);
+        let s = g.symmetrize();
+        assert_eq!(s.neighbors(0), &[1]);
+        assert_eq!(s.neighbors(1), &[0, 2]);
+        assert_eq!(s.neighbors(2), &[1]);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn symmetrize_takes_min_weight() {
+        let g = Csr::from_edges(2, &[(0, 1), (1, 0)], Some(&[9, 4]));
+        let s = g.symmetrize();
+        assert_eq!(s.edge_weight(0), 4);
+        assert_eq!(s.edge_weight(1), 4);
+    }
+
+    #[test]
+    fn max_degree_finds_hub() {
+        let g = Csr::from_edges(4, &[(2, 0), (2, 1), (2, 3), (0, 1)], None);
+        assert_eq!(g.max_degree(), (2, 3));
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = Csr::from_edges(0, &[], None);
+        assert_eq!(g.nodes(), 0);
+        assert_eq!(g.max_degree(), (0, 0));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_rejects_bad_endpoint() {
+        let _ = Csr::from_edges(2, &[(0, 2)], None);
+    }
+
+    #[test]
+    fn edge_range_partitions_edges() {
+        let g = diamond();
+        let mut total = 0;
+        for v in 0..g.nodes() as NodeId {
+            total += g.edge_range(v).len();
+        }
+        assert_eq!(total, g.edges());
+    }
+}

@@ -1,0 +1,114 @@
+//! Disjoint-set union (union-find) with path halving and union by size.
+//!
+//! Used by the connected-components reference implementation and by tests
+//! that validate generator connectivity.
+
+/// A union-find over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Dsu {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl Dsu {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (path-halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Current number of disjoint sets.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: u32) -> usize {
+        let r = self.find(x);
+        self.size[r as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_start_disjoint() {
+        let mut d = Dsu::new(4);
+        assert_eq!(d.components(), 4);
+        assert!(!d.same(0, 1));
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut d = Dsu::new(4);
+        assert!(d.union(0, 1));
+        assert!(d.union(2, 3));
+        assert!(!d.union(1, 0), "repeated union is a no-op");
+        assert_eq!(d.components(), 2);
+        assert!(d.union(0, 3));
+        assert_eq!(d.components(), 1);
+        assert!(d.same(1, 2));
+        assert_eq!(d.set_size(2), 4);
+    }
+
+    #[test]
+    fn transitive_chains_collapse() {
+        let mut d = Dsu::new(100);
+        for i in 0..99 {
+            d.union(i, i + 1);
+        }
+        assert_eq!(d.components(), 1);
+        assert!(d.same(0, 99));
+        assert_eq!(d.set_size(50), 100);
+    }
+}

@@ -1,0 +1,117 @@
+//! Bipartite rating-graph generator — the `amazon-ratings` analogue
+//! (Table 1), used by the BC (bipartite coloring) workload.
+//!
+//! Users (partition A) rate items (partition B) with Zipf-distributed item
+//! popularity. The graph is bipartite by construction, so 2-coloring
+//! succeeds — which the BC workload verifies.
+
+use rand::Rng;
+
+use super::{rng, Zipf};
+use crate::csr::{Csr, NodeId};
+
+/// Configuration for the bipartite generator.
+#[derive(Debug, Clone, Copy)]
+pub struct BipartiteConfig {
+    /// Number of user nodes (partition A: ids `0..users`).
+    pub users: usize,
+    /// Number of item nodes (partition B: ids `users..users+items`).
+    pub items: usize,
+    /// Average ratings per user.
+    pub ratings_per_user: usize,
+    /// Zipf exponent of item popularity.
+    pub alpha: f64,
+}
+
+impl BipartiteConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either partition is empty.
+    pub fn new(users: usize, items: usize, ratings_per_user: usize, alpha: f64) -> Self {
+        assert!(users > 0 && items > 0, "both partitions must be non-empty");
+        BipartiteConfig {
+            users,
+            items,
+            ratings_per_user,
+            alpha,
+        }
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> usize {
+        self.users + self.items
+    }
+}
+
+/// Generates the symmetric bipartite rating graph.
+pub fn generate(cfg: &BipartiteConfig, seed: u64) -> Csr {
+    let mut r = rng(seed);
+    let zipf = Zipf::new(cfg.items, cfg.alpha);
+    let mut edges = Vec::with_capacity(cfg.users * cfg.ratings_per_user);
+    for u in 0..cfg.users as NodeId {
+        for _ in 0..cfg.ratings_per_user {
+            let item = cfg.users as NodeId + zipf.sample(&mut r);
+            edges.push((u, item));
+        }
+        // Ensure every user has at least one rating even at 0 requested.
+        if cfg.ratings_per_user == 0 {
+            let item = cfg.users as NodeId + r.gen_range(0..cfg.items as NodeId);
+            edges.push((u, item));
+        }
+    }
+    Csr::from_edges(cfg.nodes(), &edges, None).symmetrize()
+}
+
+/// Returns the partition of a node in a graph generated with `cfg`:
+/// `false` for users, `true` for items.
+pub fn partition_of(cfg: &BipartiteConfig, v: NodeId) -> bool {
+    (v as usize) >= cfg.users
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_cross_partitions_only() {
+        let cfg = BipartiteConfig::new(300, 100, 5, 1.1);
+        let g = generate(&cfg, 21);
+        g.validate().unwrap();
+        for v in 0..g.nodes() as NodeId {
+            for &n in g.neighbors(v) {
+                assert_ne!(
+                    partition_of(&cfg, v),
+                    partition_of(&cfg, n),
+                    "edge {v}-{n} stays inside a partition"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn popular_items_emerge() {
+        let cfg = BipartiteConfig::new(1000, 200, 10, 1.2);
+        let g = generate(&cfg, 8);
+        let (hub, maxd) = g.max_degree();
+        assert!(partition_of(&cfg, hub), "hub must be an item");
+        let avg_item = 1000.0 * 10.0 / 200.0;
+        assert!(maxd as f64 > 2.0 * avg_item, "hub degree {maxd}");
+    }
+
+    #[test]
+    fn zero_ratings_still_connects_users() {
+        let cfg = BipartiteConfig::new(50, 10, 0, 1.0);
+        let g = generate(&cfg, 2);
+        for u in 0..50 {
+            assert!(g.out_degree(u) >= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = BipartiteConfig::new(100, 40, 3, 1.0);
+        assert_eq!(generate(&cfg, 5), generate(&cfg, 5));
+    }
+}

@@ -1,0 +1,143 @@
+//! 2-D grid generator — the road-network analogue (`USA-road-d.W` in
+//! Table 1: high estimated diameter, max degree 9).
+//!
+//! Road networks are planar, near-mesh graphs: degree ≤ 4-ish, diameter
+//! proportional to the geometric extent. A `w x h` 4-neighbor grid has
+//! diameter `w + h - 2` and degree ≤ 4, reproducing exactly the property the
+//! paper leans on ("graph inputs with high diameters and low degrees will be
+//! more sensitive to priority ordering", §3.1).
+
+use rand::Rng;
+
+use super::{draw_weights, rng};
+use crate::csr::{Csr, NodeId};
+
+/// Configuration for the grid generator.
+#[derive(Debug, Clone)]
+pub struct GridConfig {
+    width: usize,
+    height: usize,
+    weights: Option<std::ops::RangeInclusive<u32>>,
+    /// Fraction of extra random "shortcut" edges (diagonal roads), per node.
+    shortcut_prob: f64,
+}
+
+impl GridConfig {
+    /// A `width x height` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be positive");
+        GridConfig {
+            width,
+            height,
+            weights: None,
+            shortcut_prob: 0.0,
+        }
+    }
+
+    /// Attach uniform random edge weights from `range`.
+    pub fn weighted(mut self, range: std::ops::RangeInclusive<u32>) -> Self {
+        self.weights = Some(range);
+        self
+    }
+
+    /// Adds diagonal shortcut edges with the given per-node probability
+    /// (road networks have occasional non-grid connections; also bumps the
+    /// max degree above 4 toward the road graph's 9).
+    pub fn shortcuts(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob));
+        self.shortcut_prob = prob;
+        self
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+}
+
+/// Generates the symmetric grid graph.
+pub fn generate(cfg: &GridConfig, seed: u64) -> Csr {
+    let mut r = rng(seed);
+    let (w, h) = (cfg.width, cfg.height);
+    let id = |x: usize, y: usize| (y * w + x) as NodeId;
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(4 * w * h);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                edges.push((id(x, y), id(x + 1, y)));
+            }
+            if y + 1 < h {
+                edges.push((id(x, y), id(x, y + 1)));
+            }
+            if cfg.shortcut_prob > 0.0 && x + 1 < w && y + 1 < h && r.gen_bool(cfg.shortcut_prob)
+            {
+                edges.push((id(x, y), id(x + 1, y + 1)));
+            }
+        }
+    }
+    let directed = if let Some(range) = &cfg.weights {
+        let ws = draw_weights(&mut r, range.clone(), edges.len());
+        Csr::from_edges(cfg.nodes(), &edges, Some(&ws))
+    } else {
+        Csr::from_edges(cfg.nodes(), &edges, None)
+    };
+    directed.symmetrize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsu::Dsu;
+
+    #[test]
+    fn grid_is_connected_and_low_degree() {
+        let g = generate(&GridConfig::new(10, 10), 1);
+        g.validate().unwrap();
+        assert_eq!(g.nodes(), 100);
+        let (_, maxd) = g.max_degree();
+        assert!(maxd <= 4);
+        let mut d = Dsu::new(g.nodes());
+        for v in 0..g.nodes() as NodeId {
+            for &n in g.neighbors(v) {
+                d.union(v, n);
+            }
+        }
+        assert_eq!(d.components(), 1);
+    }
+
+    #[test]
+    fn grid_edge_count_matches_formula() {
+        // Undirected w*h grid: w*(h-1) + h*(w-1) edges; CSR stores both dirs.
+        let g = generate(&GridConfig::new(5, 7), 1);
+        assert_eq!(g.edges(), 2 * (5 * 6 + 7 * 4));
+    }
+
+    #[test]
+    fn weighted_grid_carries_weights() {
+        let g = generate(&GridConfig::new(4, 4), 2);
+        assert!(!g.is_weighted());
+        let gw = generate(&GridConfig::new(4, 4).weighted(1..=9), 2);
+        assert!(gw.is_weighted());
+        for e in 0..gw.edges() {
+            assert!((1..=9).contains(&gw.edge_weight(e)));
+        }
+    }
+
+    #[test]
+    fn shortcuts_raise_degree() {
+        let g = generate(&GridConfig::new(30, 30).shortcuts(0.5), 3);
+        let (_, maxd) = g.max_degree();
+        assert!(maxd > 4, "shortcuts must add degree, got {maxd}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&GridConfig::new(8, 8).weighted(1..=5).shortcuts(0.2), 9);
+        let b = generate(&GridConfig::new(8, 8).weighted(1..=5).shortcuts(0.2), 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,87 @@
+//! Power-law (Chung-Lu/Zipf) generator — the Wikipedia / wiki-Talk analogue
+//! (Table 1: low diameter, strong hubs but no single dominant node).
+
+use super::{rng, Zipf};
+use crate::csr::{Csr, NodeId};
+use rand::Rng;
+
+/// Configuration for the power-law generator.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerLawConfig {
+    /// Node count.
+    pub nodes: usize,
+    /// Average out-degree before symmetrization.
+    pub avg_degree: usize,
+    /// Zipf exponent over target popularity (≈1.0–1.5 for web graphs).
+    pub alpha: f64,
+}
+
+impl PowerLawConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0` or `alpha <= 0`.
+    pub fn new(nodes: usize, avg_degree: usize, alpha: f64) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        assert!(alpha > 0.0, "alpha must be positive");
+        PowerLawConfig {
+            nodes,
+            avg_degree,
+            alpha,
+        }
+    }
+}
+
+/// Generates the symmetric power-law graph. Targets are drawn from a Zipf
+/// distribution over a random permutation of node ids (so hub ids are not
+/// clustered at the low end of the address space).
+pub fn generate(cfg: &PowerLawConfig, seed: u64) -> Csr {
+    let mut r = rng(seed);
+    let zipf = Zipf::new(cfg.nodes, cfg.alpha);
+    // Random rank -> node permutation.
+    let mut perm: Vec<NodeId> = (0..cfg.nodes as NodeId).collect();
+    for i in (1..perm.len()).rev() {
+        let j = r.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let m = cfg.nodes * cfg.avg_degree;
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let u = r.gen_range(0..cfg.nodes as NodeId);
+        let v = perm[zipf.sample(&mut r) as usize];
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    Csr::from_edges(cfg.nodes, &edges, None).symmetrize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_law_has_hubs_but_no_monopoly() {
+        let g = generate(&PowerLawConfig::new(4000, 6, 1.1), 13);
+        g.validate().unwrap();
+        let (_, maxd) = g.max_degree();
+        let avg = g.edges() as f64 / g.nodes() as f64;
+        assert!(maxd as f64 > 8.0 * avg, "hubs expected: {maxd} vs avg {avg:.1}");
+        let share = maxd as f64 / g.edges() as f64;
+        assert!(share < 0.25, "no single dominant node: {share:.3}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(&PowerLawConfig::new(500, 5, 1.2), 4);
+        let b = generate(&PowerLawConfig::new(500, 5, 1.2), 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_nonpositive_alpha() {
+        let _ = PowerLawConfig::new(10, 2, 0.0);
+    }
+}

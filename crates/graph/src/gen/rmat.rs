@@ -1,0 +1,127 @@
+//! RMAT / Kronecker generator — the Graph500 `rmat16-2e22` analogue
+//! (Table 1: scale-free, one node with 18.4M edges = 27% of the graph).
+//!
+//! Recursive-matrix sampling with the Graph500 partition probabilities
+//! produces heavy-tailed degree distributions including a single dominant
+//! hub — the property that motivates the paper's *task splitting*
+//! optimization (§6.2.1: "the maximum speedup cannot exceed 3.65x" without
+//! it) and G500's cache-overflow behaviour at high prefetch credits (§6.3.2).
+
+use rand::Rng;
+
+use super::rng;
+use crate::csr::{Csr, NodeId};
+
+/// Configuration for the RMAT generator.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatConfig {
+    /// log2 of the node count.
+    pub scale: u32,
+    /// Edges per node (Graph500 uses 16).
+    pub edge_factor: usize,
+    /// Partition probabilities; must sum to ~1.
+    pub a: f64,
+    /// Top-right partition probability.
+    pub b: f64,
+    /// Bottom-left partition probability.
+    pub c: f64,
+}
+
+impl RmatConfig {
+    /// Graph500 reference parameters (a=0.57, b=c=0.19, d=0.05).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale == 0` or `scale > 28`.
+    pub fn graph500(scale: u32, edge_factor: usize) -> Self {
+        assert!(scale > 0 && scale <= 28, "scale out of supported range");
+        RmatConfig {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
+    }
+
+    /// Node count implied by the scale.
+    pub fn nodes(&self) -> usize {
+        1usize << self.scale
+    }
+}
+
+/// Generates the symmetric RMAT graph.
+pub fn generate(cfg: &RmatConfig, seed: u64) -> Csr {
+    let mut r = rng(seed);
+    let n = cfg.nodes();
+    let m = n * cfg.edge_factor;
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..cfg.scale {
+            let x: f64 = r.gen();
+            let (du, dv) = if x < cfg.a {
+                (0, 0)
+            } else if x < cfg.a + cfg.b {
+                (0, 1)
+            } else if x < cfg.a + cfg.b + cfg.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u != v {
+            edges.push((u as NodeId, v as NodeId));
+        }
+    }
+    Csr::from_edges(n, &edges, None).symmetrize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_has_dominant_hub() {
+        let g = generate(&RmatConfig::graph500(12, 16), 3);
+        g.validate().unwrap();
+        let (_, maxd) = g.max_degree();
+        let avg = g.edges() as f64 / g.nodes() as f64;
+        assert!(
+            maxd as f64 > 30.0 * avg,
+            "scale-free hub expected: max {maxd}, avg {avg:.1}"
+        );
+    }
+
+    #[test]
+    fn hub_owns_significant_edge_share() {
+        // The paper's rmat16-2e22 has one node with 27% of all edges.
+        let g = generate(&RmatConfig::graph500(12, 16), 3);
+        let (_, maxd) = g.max_degree();
+        let share = maxd as f64 / g.edges() as f64;
+        assert!(share > 0.01, "hub share {share:.4} too small");
+    }
+
+    #[test]
+    fn low_diameter_small_world() {
+        use crate::stats::GraphStats;
+        let g = generate(&RmatConfig::graph500(10, 16), 5);
+        let s = GraphStats::compute(&g, 0);
+        assert!(s.est_diameter <= 12, "RMAT diameter {}", s.est_diameter);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(&RmatConfig::graph500(8, 8), 1);
+        let b = generate(&RmatConfig::graph500(8, 8), 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn rejects_zero_scale() {
+        let _ = RmatConfig::graph500(0, 16);
+    }
+}

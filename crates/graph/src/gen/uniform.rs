@@ -1,0 +1,88 @@
+//! Uniform random graph generator — the `r4-2e23` analogue (Table 1:
+//! random graph with average degree 4, small max degree, moderate diameter).
+
+use rand::Rng;
+
+use super::rng;
+use crate::csr::{Csr, NodeId};
+
+/// Configuration for the uniform random generator.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformConfig {
+    /// Node count.
+    pub nodes: usize,
+    /// Outgoing edges drawn per node before symmetrization.
+    pub degree: usize,
+}
+
+impl UniformConfig {
+    /// `nodes` nodes with `degree` random out-edges each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn new(nodes: usize, degree: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        UniformConfig { nodes, degree }
+    }
+}
+
+/// Generates the symmetric uniform random graph.
+pub fn generate(cfg: &UniformConfig, seed: u64) -> Csr {
+    let mut r = rng(seed);
+    let mut edges = Vec::with_capacity(cfg.nodes * cfg.degree);
+    for u in 0..cfg.nodes as NodeId {
+        for _ in 0..cfg.degree {
+            let v = r.gen_range(0..cfg.nodes as NodeId);
+            if v != u {
+                edges.push((u, v));
+            }
+        }
+    }
+    Csr::from_edges(cfg.nodes, &edges, None).symmetrize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsu::Dsu;
+
+    #[test]
+    fn degree_concentrates_near_twice_draw() {
+        let g = generate(&UniformConfig::new(2000, 4), 5);
+        g.validate().unwrap();
+        let avg = g.edges() as f64 / g.nodes() as f64;
+        assert!(avg > 6.0 && avg < 9.0, "avg degree {avg}");
+        let (_, maxd) = g.max_degree();
+        assert!(maxd < 40, "uniform graphs have no hubs, got {maxd}");
+    }
+
+    #[test]
+    fn mostly_connected_at_degree_four() {
+        let g = generate(&UniformConfig::new(1000, 4), 7);
+        let mut d = Dsu::new(g.nodes());
+        for v in 0..g.nodes() as NodeId {
+            for &n in g.neighbors(v) {
+                d.union(v, n);
+            }
+        }
+        assert!(d.set_size(0) > 950, "giant component expected");
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = generate(&UniformConfig::new(500, 4), 11);
+        for v in 0..g.nodes() as NodeId {
+            assert!(!g.neighbors(v).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(&UniformConfig::new(300, 3), 1);
+        let b = generate(&UniformConfig::new(300, 3), 1);
+        let c = generate(&UniformConfig::new(300, 3), 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

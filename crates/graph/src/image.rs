@@ -1,0 +1,69 @@
+//! Memory-image view of a CSR graph for indirect hardware prefetchers.
+//!
+//! IMP-style prefetchers chase `A[B[i]]` by reading the index array `B` out
+//! of cache. [`GraphImage`] backs the simulated edge-array region with the
+//! actual CSR contents so such prefetchers can dereference edge records to
+//! destination node ids.
+
+use minnow_sim::observer::MemoryImage;
+
+use crate::csr::Csr;
+use crate::layout::{AddressMap, EDGE_BASE};
+
+/// A [`MemoryImage`] over one graph laid out by an [`AddressMap`].
+#[derive(Debug, Clone)]
+pub struct GraphImage<'a> {
+    graph: &'a Csr,
+    map: AddressMap,
+}
+
+impl<'a> GraphImage<'a> {
+    /// Wraps `graph` under `map`'s layout.
+    pub fn new(graph: &'a Csr, map: AddressMap) -> Self {
+        GraphImage { graph, map }
+    }
+
+    /// The address map in use.
+    pub fn map(&self) -> &AddressMap {
+        &self.map
+    }
+}
+
+impl MemoryImage for GraphImage<'_> {
+    fn read_u64(&self, addr: u64) -> Option<u64> {
+        // Edge records: 16B each, destination id in the first word.
+        if addr >= EDGE_BASE {
+            let offset = addr - EDGE_BASE;
+            let idx = (offset / 16) as usize;
+            if offset % 16 == 0 && idx < self.graph.edges() {
+                return Some(self.graph.edge_dst(idx) as u64);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_edge_destinations() {
+        let g = Csr::from_edges(3, &[(0, 2), (0, 1), (2, 0)], None);
+        let map = AddressMap::standard();
+        let img = GraphImage::new(&g, map);
+        assert_eq!(img.read_u64(map.edge_addr(0)), Some(2));
+        assert_eq!(img.read_u64(map.edge_addr(1)), Some(1));
+        assert_eq!(img.read_u64(map.edge_addr(2)), Some(0));
+    }
+
+    #[test]
+    fn out_of_range_reads_are_none() {
+        let g = Csr::from_edges(2, &[(0, 1)], None);
+        let map = AddressMap::standard();
+        let img = GraphImage::new(&g, map);
+        assert_eq!(img.read_u64(map.edge_addr(5)), None);
+        assert_eq!(img.read_u64(map.edge_addr(0) + 8), None, "mid-record");
+        assert_eq!(img.read_u64(0x100), None, "outside edge region");
+    }
+}

@@ -1,0 +1,154 @@
+//! Named, scaled-down analogues of the paper's Table 1 inputs.
+//!
+//! The original inputs are 150MB–1GB downloads (road networks, Wikipedia
+//! dumps, Amazon ratings). Experiments here run on generated graphs that
+//! preserve each input's *structural role* in the evaluation:
+//!
+//! | paper input          | role                                  | analogue                      |
+//! |----------------------|---------------------------------------|-------------------------------|
+//! | `USA-road-d.W`       | high diameter, degree ≤ 9 (SSSP)      | weighted grid w/ shortcuts    |
+//! | `r4-2e23`            | uniform random, degree ~4 (BFS)       | uniform random                |
+//! | `rmat16-2e22`        | scale-free, 27%-of-edges hub (G500)   | Graph500 RMAT                 |
+//! | `wikipedia-20051105` | power-law web graph (CC)              | Chung-Lu/Zipf                 |
+//! | `wiki-Talk`          | sparse power-law, strong hubs (PR)    | Chung-Lu/Zipf, higher alpha   |
+//! | `com-dblp-sym`       | small community graph, fits LLC (TC)  | small power-law, sorted       |
+//! | `amazon-ratings`     | bipartite ratings (BC)                | Zipf bipartite                |
+//!
+//! `scale = 1.0` yields graphs of ~10^4–10^5 nodes that run in milliseconds
+//! under the timing simulator; the experiment harness documents the scaling
+//! in EXPERIMENTS.md.
+
+use crate::csr::Csr;
+use crate::gen::bipartite::{self, BipartiteConfig};
+use crate::gen::grid::{self, GridConfig};
+use crate::gen::powerlaw::{self, PowerLawConfig};
+use crate::gen::rmat::{self, RmatConfig};
+use crate::gen::uniform::{self, UniformConfig};
+
+fn scaled(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale).round() as usize).max(16)
+}
+
+/// `USA-road-d.W` analogue: weighted near-planar grid, high diameter.
+pub fn usa_road(scale: f64, seed: u64) -> Csr {
+    let side = (scaled(16_384, scale) as f64).sqrt().round() as usize;
+    grid::generate(
+        &GridConfig::new(side.max(4), side.max(4))
+            .weighted(1..=9)
+            .shortcuts(0.02),
+        seed,
+    )
+}
+
+/// `r4-2e23` analogue: uniform random graph, average degree ~4.
+pub fn r4(scale: f64, seed: u64) -> Csr {
+    uniform::generate(&UniformConfig::new(scaled(24_576, scale), 4), seed)
+}
+
+/// `rmat16-2e22` analogue: Graph500 Kronecker graph with a dominant hub.
+pub fn rmat16(scale: f64, seed: u64) -> Csr {
+    // Pick the nearest power-of-two scale for the requested size.
+    let nodes = scaled(8_192, scale);
+    let s = (nodes as f64).log2().round().clamp(8.0, 22.0) as u32;
+    rmat::generate(&RmatConfig::graph500(s, 16), seed)
+}
+
+/// `wikipedia-20051105` analogue: power-law web graph.
+pub fn wikipedia(scale: f64, seed: u64) -> Csr {
+    powerlaw::generate(
+        &PowerLawConfig::new(scaled(8_192, scale), 12, 1.05),
+        seed,
+    )
+}
+
+/// `wiki-Talk` analogue: sparse power-law graph with strong hubs.
+pub fn wiki_talk(scale: f64, seed: u64) -> Csr {
+    powerlaw::generate(&PowerLawConfig::new(scaled(12_288, scale), 2, 1.4), seed)
+}
+
+/// `com-dblp-sym` analogue: small symmetric community graph with sorted
+/// adjacency (the TC input; deliberately small enough to fit in the scaled
+/// LLC, as in the paper §6.2).
+pub fn com_dblp(scale: f64, seed: u64) -> Csr {
+    let mut g = powerlaw::generate(&PowerLawConfig::new(scaled(2_048, scale), 5, 0.9), seed);
+    g.sort_adjacency();
+    g
+}
+
+/// `amazon-ratings` analogue: bipartite user-item rating graph.
+pub fn amazon_ratings(scale: f64, seed: u64) -> Csr {
+    bipartite::generate(&amazon_config(scale), seed)
+}
+
+/// The bipartite configuration behind [`amazon_ratings`] (exposed so the BC
+/// workload can query partitions).
+pub fn amazon_config(scale: f64) -> BipartiteConfig {
+    BipartiteConfig::new(scaled(6_144, scale), scaled(2_048, scale), 3, 1.1)
+}
+
+/// A named input with its generator, for harness iteration.
+#[derive(Debug, Clone)]
+pub struct InputSpec {
+    /// Paper input name.
+    pub name: &'static str,
+    /// The generated graph.
+    pub graph: Csr,
+}
+
+/// Generates all seven Table 1 analogues at the given scale.
+pub fn all(scale: f64, seed: u64) -> Vec<InputSpec> {
+    vec![
+        InputSpec { name: "USA-road-d.W", graph: usa_road(scale, seed) },
+        InputSpec { name: "r4-2e23", graph: r4(scale, seed + 1) },
+        InputSpec { name: "rmat16-2e22", graph: rmat16(scale, seed + 2) },
+        InputSpec { name: "wikipedia-20051105", graph: wikipedia(scale, seed + 3) },
+        InputSpec { name: "wiki-Talk", graph: wiki_talk(scale, seed + 4) },
+        InputSpec { name: "com-dblp-sym", graph: com_dblp(scale, seed + 5) },
+        InputSpec { name: "amazon-ratings", graph: amazon_ratings(scale, seed + 6) },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+
+    #[test]
+    fn all_inputs_are_valid_and_distinctive() {
+        for spec in all(0.25, 42) {
+            spec.graph.validate().unwrap();
+            assert!(spec.graph.nodes() > 0, "{} empty", spec.name);
+        }
+    }
+
+    #[test]
+    fn road_has_highest_diameter() {
+        let road = GraphStats::compute(&usa_road(0.25, 1), 0);
+        let rmat = GraphStats::compute(&rmat16(0.25, 1), 0);
+        assert!(
+            road.est_diameter > 5 * rmat.est_diameter.max(1),
+            "road {} vs rmat {}",
+            road.est_diameter,
+            rmat.est_diameter
+        );
+    }
+
+    #[test]
+    fn rmat_has_biggest_hub_share() {
+        let g = rmat16(0.5, 7);
+        let share = g.max_degree().1 as f64 / g.edges() as f64;
+        let road = usa_road(0.5, 7);
+        let road_share = road.max_degree().1 as f64 / road.edges() as f64;
+        assert!(share > 20.0 * road_share, "rmat {share:.4} road {road_share:.6}");
+    }
+
+    #[test]
+    fn dblp_is_sorted_for_tc() {
+        assert!(com_dblp(0.25, 3).is_sorted());
+    }
+
+    #[test]
+    fn scale_changes_size() {
+        assert!(r4(0.1, 1).nodes() < r4(1.0, 1).nodes());
+    }
+}

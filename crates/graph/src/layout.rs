@@ -1,0 +1,131 @@
+//! Synthetic address map for the simulated memory hierarchy.
+//!
+//! The paper stores graphs in "standard CSR format, with 32B nodes (64B for
+//! TC) and 16B edges" (§6.2). [`AddressMap`] reproduces that layout inside
+//! the simulator's 64-bit address space so that cache behaviour (lines per
+//! node, edges per line, set conflicts) matches the paper's geometry.
+//!
+//! Address regions are widely separated so that distinct structures never
+//! alias:
+//!
+//! | region            | base                | contents                     |
+//! |-------------------|---------------------|------------------------------|
+//! | nodes             | `0x1000_0000_0000`  | `node_bytes` per node        |
+//! | edges             | `0x2000_0000_0000`  | 16B per edge                 |
+//! | worklist heap     | `0x3000_0000_0000`  | spilled task storage         |
+//! | task records      | `0x4000_0000_0000`  | 16B per task                 |
+//! | per-core private  | `0x7000_0000_0000`  | stacks, allocator metadata   |
+
+/// Byte size of one edge record (destination id + weight, padded — §6.2).
+pub const EDGE_BYTES: u64 = 16;
+
+/// Base of the node array region.
+pub const NODE_BASE: u64 = 0x1000_0000_0000;
+/// Base of the edge array region.
+pub const EDGE_BASE: u64 = 0x2000_0000_0000;
+/// Base of the worklist spill heap.
+pub const WORKLIST_BASE: u64 = 0x3000_0000_0000;
+/// Base of the task-record region.
+pub const TASK_BASE: u64 = 0x4000_0000_0000;
+/// Base of the per-core private region (stacks, spills).
+pub const PRIVATE_BASE: u64 = 0x7000_0000_0000;
+
+/// Maps graph entities to simulated addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    node_bytes: u64,
+}
+
+impl AddressMap {
+    /// Standard layout: 32B nodes (all workloads except TC).
+    pub fn standard() -> Self {
+        AddressMap { node_bytes: 32 }
+    }
+
+    /// Triangle-counting layout: 64B nodes (paper §6.2).
+    pub fn wide_nodes() -> Self {
+        AddressMap { node_bytes: 64 }
+    }
+
+    /// Bytes per node record.
+    pub fn node_bytes(&self) -> u64 {
+        self.node_bytes
+    }
+
+    /// Address of node `v`'s record.
+    pub fn node_addr(&self, v: u32) -> u64 {
+        NODE_BASE + v as u64 * self.node_bytes
+    }
+
+    /// Address of edge record `e` (a CSR edge index).
+    pub fn edge_addr(&self, e: usize) -> u64 {
+        EDGE_BASE + e as u64 * EDGE_BYTES
+    }
+
+    /// Address of task record `t` (16B records in the worklist).
+    pub fn task_addr(&self, t: u64) -> u64 {
+        TASK_BASE + t * 16
+    }
+
+    /// Address of a worklist heap slot (bucket storage for spilled tasks).
+    pub fn worklist_addr(&self, slot: u64) -> u64 {
+        WORKLIST_BASE + slot * 16
+    }
+
+    /// A per-core private address (stack frames, register spill slots).
+    pub fn private_addr(&self, core: usize, offset: u64) -> u64 {
+        PRIVATE_BASE + ((core as u64) << 32) + offset
+    }
+}
+
+impl Default for AddressMap {
+    fn default() -> Self {
+        AddressMap::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_nodes_are_32b() {
+        let m = AddressMap::standard();
+        assert_eq!(m.node_addr(0), NODE_BASE);
+        assert_eq!(m.node_addr(1) - m.node_addr(0), 32);
+        // Two nodes share one 64B cache line.
+        assert_eq!(m.node_addr(0) >> 6, m.node_addr(1) >> 6);
+        assert_ne!(m.node_addr(0) >> 6, m.node_addr(2) >> 6);
+    }
+
+    #[test]
+    fn wide_nodes_are_64b() {
+        let m = AddressMap::wide_nodes();
+        assert_eq!(m.node_bytes(), 64);
+        assert_ne!(m.node_addr(0) >> 6, m.node_addr(1) >> 6);
+    }
+
+    #[test]
+    fn four_edges_per_line() {
+        let m = AddressMap::standard();
+        assert_eq!(m.edge_addr(0) >> 6, m.edge_addr(3) >> 6);
+        assert_ne!(m.edge_addr(0) >> 6, m.edge_addr(4) >> 6);
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let m = AddressMap::standard();
+        let node_top = m.node_addr(u32::MAX);
+        assert!(node_top < EDGE_BASE);
+        assert!(m.edge_addr(1 << 32) < WORKLIST_BASE);
+        assert!(m.worklist_addr(1 << 30) < TASK_BASE);
+        assert!(m.task_addr(1 << 30) < PRIVATE_BASE);
+    }
+
+    #[test]
+    fn private_regions_are_per_core() {
+        let m = AddressMap::standard();
+        assert_ne!(m.private_addr(0, 0), m.private_addr(1, 0));
+        assert_eq!(m.private_addr(2, 64) - m.private_addr(2, 0), 64);
+    }
+}

@@ -1,0 +1,170 @@
+//! Graph statistics: the columns of the paper's Table 1.
+
+use rand::Rng;
+
+use crate::csr::{Csr, NodeId};
+use crate::dsu::Dsu;
+use crate::gen::rng;
+
+/// Summary statistics of a graph (Table 1 columns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Directed edge count.
+    pub edges: usize,
+    /// Estimated diameter (double-sweep BFS lower bound).
+    pub est_diameter: usize,
+    /// Largest out-degree ("Largest Node" in Table 1).
+    pub max_degree: usize,
+    /// Number of connected components (treating edges as undirected).
+    pub components: usize,
+    /// In-memory size in bytes under the paper's layout (32B nodes, 16B
+    /// edges).
+    pub size_bytes: u64,
+}
+
+impl GraphStats {
+    /// Computes statistics. `seed` picks the BFS start for the diameter
+    /// estimate (results are deterministic in the seed).
+    pub fn compute(g: &Csr, seed: u64) -> Self {
+        GraphStats {
+            nodes: g.nodes(),
+            edges: g.edges(),
+            est_diameter: estimate_diameter(g, seed),
+            max_degree: g.max_degree().1,
+            components: components(g),
+            size_bytes: g.nodes() as u64 * 32 + g.edges() as u64 * 16,
+        }
+    }
+}
+
+/// BFS from `src`; returns `(distances, farthest_node, eccentricity)` where
+/// unreachable nodes have distance `usize::MAX`.
+pub fn bfs_levels(g: &Csr, src: NodeId) -> (Vec<usize>, NodeId, usize) {
+    let mut dist = vec![usize::MAX; g.nodes()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    let mut far = (src, 0usize);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &n in g.neighbors(v) {
+            if dist[n as usize] == usize::MAX {
+                dist[n as usize] = d + 1;
+                if d + 1 > far.1 {
+                    far = (n, d + 1);
+                }
+                queue.push_back(n);
+            }
+        }
+    }
+    (dist, far.0, far.1)
+}
+
+/// Double-sweep diameter estimate: BFS from a random node, then BFS from the
+/// farthest node found; the second eccentricity lower-bounds the diameter
+/// and is typically tight on road-like graphs.
+pub fn estimate_diameter(g: &Csr, seed: u64) -> usize {
+    if g.nodes() == 0 {
+        return 0;
+    }
+    let mut r = rng(seed);
+    let start = r.gen_range(0..g.nodes()) as NodeId;
+    let (_, far, _) = bfs_levels(g, start);
+    let (_, _, ecc) = bfs_levels(g, far);
+    ecc
+}
+
+/// Number of connected components (undirected view).
+pub fn components(g: &Csr) -> usize {
+    let mut d = Dsu::new(g.nodes());
+    for v in 0..g.nodes() as NodeId {
+        for &n in g.neighbors(v) {
+            d.union(v, n);
+        }
+    }
+    d.components()
+}
+
+/// Degree histogram in power-of-two buckets: `hist[k]` counts nodes with
+/// out-degree in `[2^k, 2^(k+1))`; `hist[0]` also counts degree-0 and 1.
+pub fn degree_histogram(g: &Csr) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in 0..g.nodes() as NodeId {
+        let d = g.out_degree(v);
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - (d as usize).leading_zeros() - 1) as usize
+        };
+        if bucket >= hist.len() {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::grid::{self, GridConfig};
+
+    #[test]
+    fn path_graph_diameter_is_exact() {
+        // 1 x 20 grid = path of 20 nodes, diameter 19.
+        let g = grid::generate(&GridConfig::new(20, 1), 0);
+        assert_eq!(estimate_diameter(&g, 0), 19);
+    }
+
+    #[test]
+    fn bfs_levels_reports_unreachable() {
+        let g = Csr::from_edges(3, &[(0, 1)], None);
+        let (dist, _, ecc) = bfs_levels(&g, 0);
+        assert_eq!(dist[1], 1);
+        assert_eq!(dist[2], usize::MAX);
+        assert_eq!(ecc, 1);
+    }
+
+    #[test]
+    fn components_counts_islands() {
+        let g = Csr::from_edges(5, &[(0, 1), (1, 0), (2, 3), (3, 2)], None);
+        assert_eq!(components(&g), 3); // {0,1}, {2,3}, {4}
+    }
+
+    #[test]
+    fn stats_compute_is_consistent() {
+        let g = grid::generate(&GridConfig::new(10, 10), 1);
+        let s = GraphStats::compute(&g, 3);
+        assert_eq!(s.nodes, 100);
+        assert_eq!(s.edges, g.edges());
+        assert_eq!(s.components, 1);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.est_diameter, 18);
+        assert_eq!(s.size_bytes, 100 * 32 + g.edges() as u64 * 16);
+    }
+
+    #[test]
+    fn histogram_buckets_powers_of_two() {
+        let g = Csr::from_edges(
+            4,
+            &[(0, 1), (1, 0), (1, 2), (1, 3), (2, 0), (2, 1), (2, 3), (3, 0)],
+            None,
+        );
+        // degrees: 1, 3, 3, 1
+        let h = degree_histogram(&g);
+        assert_eq!(h[0], 2);
+        assert_eq!(h[1], 2);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Csr::from_edges(0, &[], None);
+        let s = GraphStats::compute(&g, 0);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.est_diameter, 0);
+        assert_eq!(s.components, 0);
+        assert!(degree_histogram(&g).is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests over the graph generators and CSR transformations.
+
+use proptest::prelude::*;
+
+use minnow_graph::gen::bipartite::{self, BipartiteConfig};
+use minnow_graph::gen::grid::{self, GridConfig};
+use minnow_graph::gen::powerlaw::{self, PowerLawConfig};
+use minnow_graph::gen::rmat::{self, RmatConfig};
+use minnow_graph::gen::uniform::{self, UniformConfig};
+use minnow_graph::{io, Csr, NodeId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generator yields a structurally valid, symmetric CSR.
+    #[test]
+    fn generators_produce_valid_symmetric_graphs(seed in 0u64..1000, pick in 0usize..5) {
+        let g: Csr = match pick {
+            0 => grid::generate(&GridConfig::new(8, 6).weighted(1..=9), seed),
+            1 => uniform::generate(&UniformConfig::new(150, 3), seed),
+            2 => rmat::generate(&RmatConfig::graph500(7, 4), seed),
+            3 => powerlaw::generate(&PowerLawConfig::new(120, 4, 1.2), seed),
+            _ => bipartite::generate(&BipartiteConfig::new(60, 30, 3, 1.0), seed),
+        };
+        prop_assert!(g.validate().is_ok());
+        // Symmetry: u in adj(v) <=> v in adj(u).
+        for v in 0..g.nodes() as NodeId {
+            for &u in g.neighbors(v) {
+                prop_assert!(
+                    g.neighbors(u).contains(&v),
+                    "edge {v}->{u} missing its reverse"
+                );
+            }
+        }
+    }
+
+    /// Generation is a pure function of the seed.
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..500) {
+        let a = uniform::generate(&UniformConfig::new(100, 4), seed);
+        let b = uniform::generate(&UniformConfig::new(100, 4), seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// sort_adjacency preserves the multiset of (dst, weight) pairs per node.
+    #[test]
+    fn sorting_preserves_adjacency(edges in prop::collection::vec((0u32..30, 0u32..30, 1u32..9), 0..150)) {
+        let pairs: Vec<(NodeId, NodeId)> = edges.iter().map(|&(a, b, _)| (a, b)).collect();
+        let weights: Vec<u32> = edges.iter().map(|&(_, _, w)| w).collect();
+        let g = Csr::from_edges(30, &pairs, Some(&weights));
+        let mut sorted = g.clone();
+        sorted.sort_adjacency();
+        prop_assert!(sorted.is_sorted());
+        for v in 0..30u32 {
+            let mut a: Vec<_> = g.edges_of(v).map(|(_, d, w)| (d, w)).collect();
+            let mut b: Vec<_> = sorted.edges_of(v).map(|(_, d, w)| (d, w)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b, "node {}", v);
+            // And the sorted adjacency really is sorted.
+            let n: Vec<_> = sorted.neighbors(v).to_vec();
+            prop_assert!(n.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    /// has_edge agrees with a linear scan on sorted graphs.
+    #[test]
+    fn binary_search_matches_linear_scan(edges in prop::collection::vec((0u32..20, 0u32..20), 1..100),
+                                         u in 0u32..20, v in 0u32..20) {
+        let mut g = Csr::from_edges(20, &edges, None);
+        g.sort_adjacency();
+        let (found, probes) = g.has_edge(u, v);
+        prop_assert_eq!(found, g.neighbors(u).contains(&v));
+        prop_assert!(probes.len() <= 8, "log2(100) probes at most");
+        for p in probes {
+            let r = g.edge_range(u);
+            prop_assert!(r.contains(&p), "probe outside adjacency");
+        }
+    }
+
+    /// Symmetrize is idempotent.
+    #[test]
+    fn symmetrize_idempotent(edges in prop::collection::vec((0u32..25, 0u32..25), 0..120)) {
+        let g = Csr::from_edges(25, &edges, None);
+        let s1 = g.symmetrize();
+        let s2 = s1.symmetrize();
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// DIMACS round-trips arbitrary weighted graphs.
+    #[test]
+    fn dimacs_roundtrip_arbitrary(edges in prop::collection::vec((0u32..15, 0u32..15, 1u32..100), 0..80)) {
+        let pairs: Vec<(NodeId, NodeId)> = edges.iter().map(|&(a, b, _)| (a, b)).collect();
+        let weights: Vec<u32> = edges.iter().map(|&(_, _, w)| w).collect();
+        let g = Csr::from_edges(15, &pairs, Some(&weights));
+        let mut buf = Vec::new();
+        io::write_dimacs(&g, &mut buf).unwrap();
+        let g2 = io::read_dimacs(buf.as_slice()).unwrap();
+        prop_assert_eq!(g.nodes(), g2.nodes());
+        prop_assert_eq!(g.edges(), g2.edges());
+        for v in 0..15u32 {
+            let a: Vec<_> = g.edges_of(v).map(|(_, d, w)| (d, w)).collect();
+            let b: Vec<_> = g2.edges_of(v).map(|(_, d, w)| (d, w)).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

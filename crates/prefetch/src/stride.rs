@@ -1,0 +1,196 @@
+//! Classic table-based stride prefetcher.
+//!
+//! Tracks one stream per (core, address region): when consecutive demand
+//! loads in a region exhibit a stable stride, it prefetches
+//! `addr + stride * distance`. Two-bit confidence avoids training on noise.
+//! Graph node accesses are data-dependent (no stride), so in practice only
+//! the sequential edge-array stream triggers — which is why the paper finds
+//! basic stride prefetching largely ineffective on graph workloads.
+
+use minnow_sim::cycles::Cycle;
+use minnow_sim::hierarchy::MemoryHierarchy;
+use minnow_sim::observer::{HwPrefetchStats, HwPrefetcher, MemoryImage};
+
+/// Address-region granularity used as the stream index (a stand-in for the
+/// load PC: one static load instruction dominates each region's stream).
+fn region_of(addr: u64) -> usize {
+    ((addr >> 44) & 0xF) as usize
+}
+
+const REGIONS: usize = 16;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct StreamEntry {
+    last_addr: u64,
+    stride: i64,
+    confidence: u8,
+    valid: bool,
+}
+
+/// A per-core stride prefetcher.
+#[derive(Debug)]
+pub struct StridePrefetcher {
+    /// `table[core][region]`.
+    table: Vec<[StreamEntry; REGIONS]>,
+    distance: i64,
+    stats: HwPrefetchStats,
+}
+
+impl StridePrefetcher {
+    /// Builds a stride prefetcher for `cores` cores with the given prefetch
+    /// distance (in elements of the detected stride).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or `distance == 0`.
+    pub fn new(cores: usize, distance: u32) -> Self {
+        assert!(cores > 0, "need at least one core");
+        assert!(distance > 0, "distance must be positive");
+        StridePrefetcher {
+            table: vec![[StreamEntry::default(); REGIONS]; cores],
+            distance: distance as i64,
+            stats: HwPrefetchStats::default(),
+        }
+    }
+
+    /// The configured prefetch distance.
+    pub fn distance(&self) -> u32 {
+        self.distance as u32
+    }
+
+    fn issue(&mut self, core: usize, target: u64, now: Cycle, mem: &mut MemoryHierarchy) {
+        let res = mem.prefetch_fill(core, target, now);
+        if res.filled {
+            self.stats.issued += 1;
+        } else {
+            self.stats.already_resident += 1;
+        }
+    }
+}
+
+impl HwPrefetcher for StridePrefetcher {
+    fn name(&self) -> &'static str {
+        "stride"
+    }
+
+    fn on_demand_load(
+        &mut self,
+        core: usize,
+        addr: u64,
+        _value: Option<u64>,
+        now: Cycle,
+        mem: &mut MemoryHierarchy,
+        _image: &dyn MemoryImage,
+    ) {
+        self.stats.observed += 1;
+        let entry = &mut self.table[core][region_of(addr)];
+        if !entry.valid {
+            *entry = StreamEntry {
+                last_addr: addr,
+                stride: 0,
+                confidence: 0,
+                valid: true,
+            };
+            return;
+        }
+        let observed = addr as i64 - entry.last_addr as i64;
+        entry.last_addr = addr;
+        if observed == 0 {
+            return;
+        }
+        if observed == entry.stride {
+            entry.confidence = (entry.confidence + 1).min(3);
+        } else {
+            entry.stride = observed;
+            entry.confidence = entry.confidence.saturating_sub(1);
+            return;
+        }
+        if entry.confidence >= 2 {
+            let target = addr as i64 + entry.stride * self.distance;
+            let stride = entry.stride;
+            if target > 0 {
+                let target = target as u64;
+                // Only cross-line prefetches matter.
+                if target >> 6 != addr >> 6 || stride.unsigned_abs() >= 64 {
+                    self.issue(core, target, now, mem);
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> HwPrefetchStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minnow_sim::observer::EmptyImage;
+    use minnow_sim::SimConfig;
+
+    fn setup() -> (StridePrefetcher, MemoryHierarchy) {
+        (
+            StridePrefetcher::new(1, 4),
+            MemoryHierarchy::new(&SimConfig::small(1)),
+        )
+    }
+
+    #[test]
+    fn sequential_stream_triggers_prefetch() {
+        let (mut p, mut mem) = setup();
+        let base = 0x2000_0000_0000u64;
+        for i in 0..8u64 {
+            p.on_demand_load(0, base + i * 64, None, i * 10, &mut mem, &EmptyImage);
+        }
+        assert!(p.stats().issued > 0, "stable stride must prefetch");
+        // The line 4 strides ahead of the last access is resident.
+        assert!(mem.l2_cache(0).probe_prefetched(base + (7 + 4) * 64));
+    }
+
+    #[test]
+    fn random_stream_stays_quiet() {
+        let (mut p, mut mem) = setup();
+        let addrs = [0x1000u64, 0x100040, 0x2340, 0x99900, 0x1700, 0x505050];
+        for (i, a) in addrs.iter().enumerate() {
+            p.on_demand_load(0, 0x1000_0000_0000 + a, None, i as u64, &mut mem, &EmptyImage);
+        }
+        assert_eq!(p.stats().issued, 0, "no stable stride, no prefetch");
+    }
+
+    #[test]
+    fn stride_break_resets_confidence() {
+        let (mut p, mut mem) = setup();
+        let base = 0x2000_0000_0000u64;
+        // Short runs of 3 (like 3-edge adjacency lists) separated by jumps.
+        let mut issued_before = 0;
+        for node in 0..10u64 {
+            let start = base + node * 10_000;
+            for i in 0..3u64 {
+                p.on_demand_load(0, start + i * 16, None, node * 100 + i, &mut mem, &EmptyImage);
+            }
+            issued_before = p.stats().issued.max(issued_before);
+        }
+        // Some prefetches may fire but they target beyond the short runs:
+        // efficiency (used/issued) must be poor.
+        let s = mem.l2_cache(0).stats();
+        assert_eq!(s.prefetch_used.get(), 0, "short runs never use +4 targets");
+    }
+
+    #[test]
+    fn separate_regions_have_separate_streams() {
+        let (mut p, mut mem) = setup();
+        // Interleave two perfect streams in different regions.
+        for i in 0..6u64 {
+            p.on_demand_load(0, 0x1000_0000_0000 + i * 32, None, i, &mut mem, &EmptyImage);
+            p.on_demand_load(0, 0x2000_0000_0000 + i * 16, None, i, &mut mem, &EmptyImage);
+        }
+        assert!(p.stats().issued >= 2, "both streams detected");
+    }
+
+    #[test]
+    #[should_panic(expected = "distance")]
+    fn zero_distance_rejected() {
+        let _ = StridePrefetcher::new(1, 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Task splitting (paper §6.2.1).
+//!
+//! Power-law graphs contain nodes with enormous adjacency lists — the
+//! paper's `rmat16-2e22` has one node owning 27% of all edges, capping
+//! speedup at 3.65x under Amdahl's law. Task splitting breaks tasks whose
+//! edge count exceeds a threshold into sub-tasks over edge ranges that can
+//! be processed in parallel, "as long as edge updates are atomic".
+
+use crate::task::{Task, WHOLE_RANGE};
+
+/// The paper's splitting threshold (10K outgoing edges).
+pub const PAPER_SPLIT_THRESHOLD: u32 = 10_000;
+
+/// Splits `task` into chunks of at most `threshold` edges, given the node's
+/// degree. Whole-range tasks over small nodes come back unchanged.
+///
+/// # Panics
+///
+/// Panics if `threshold == 0`.
+pub fn split_task(task: Task, degree: usize, threshold: u32) -> Vec<Task> {
+    assert!(threshold > 0, "split threshold must be positive");
+    let range = task.resolve_range(degree);
+    let span = range.len() as u32;
+    if span <= threshold {
+        return vec![task];
+    }
+    let mut out = Vec::with_capacity(span.div_ceil(threshold) as usize);
+    let mut lo = range.start as u32;
+    let hi = range.end as u32;
+    while lo < hi {
+        let next = (lo + threshold).min(hi);
+        // Keep WHOLE_RANGE encoding only for genuinely whole coverage.
+        let enc_hi = if next as usize == degree && lo == 0 {
+            WHOLE_RANGE
+        } else {
+            next
+        };
+        out.push(Task::with_range(task.priority, task.node, lo, enc_hi));
+        lo = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_tasks_pass_through() {
+        let t = Task::new(3, 1);
+        let parts = split_task(t, 100, 1000);
+        assert_eq!(parts, vec![t]);
+    }
+
+    #[test]
+    fn large_tasks_split_into_ranges() {
+        let t = Task::new(0, 2);
+        let parts = split_task(t, 25_000, 10_000);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].resolve_range(25_000), 0..10_000);
+        assert_eq!(parts[1].resolve_range(25_000), 10_000..20_000);
+        assert_eq!(parts[2].resolve_range(25_000), 20_000..25_000);
+    }
+
+    #[test]
+    fn split_parts_cover_exactly_once() {
+        let t = Task::new(0, 0);
+        let degree = 12_345;
+        let parts = split_task(t, degree, 1_000);
+        let mut covered = vec![false; degree];
+        for p in &parts {
+            for i in p.resolve_range(degree) {
+                assert!(!covered[i], "edge {i} covered twice");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn partial_task_splits_within_its_range() {
+        let t = Task::with_range(5, 0, 100, 500);
+        let parts = split_task(t, 1000, 150);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].resolve_range(1000), 100..250);
+        assert_eq!(parts[2].resolve_range(1000), 400..500);
+        for p in &parts {
+            assert_eq!(p.priority, 5);
+        }
+    }
+
+    #[test]
+    fn priority_preserved() {
+        let parts = split_task(Task::new(42, 7), 30_000, 10_000);
+        assert!(parts.iter().all(|p| p.priority == 42 && p.node == 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_rejected() {
+        let _ = split_task(Task::new(0, 0), 10, 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Tasks: the unit of scheduled work.
+//!
+//! A Minnow task is "two 64-bit values: an integer priority, and a pointer
+//! to the task data" (paper §4.1). Here the pointer is a node id plus an
+//! optional edge sub-range used by *task splitting* (paper §6.2.1), which
+//! breaks nodes with huge adjacency lists into independently schedulable
+//! slices.
+
+use minnow_graph::NodeId;
+
+/// Sentinel meaning "the whole adjacency list".
+pub const WHOLE_RANGE: u32 = u32::MAX;
+
+/// One schedulable work item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Task {
+    /// Scheduling priority; smaller is more urgent (OBIM processes buckets
+    /// in ascending order).
+    pub priority: u64,
+    /// The active node this task processes.
+    pub node: NodeId,
+    /// First adjacency-list slot to process (inclusive).
+    pub edge_lo: u32,
+    /// One past the last adjacency-list slot; [`WHOLE_RANGE`] means "to the
+    /// end".
+    pub edge_hi: u32,
+}
+
+impl Task {
+    /// A task covering the node's whole adjacency list.
+    pub fn new(priority: u64, node: NodeId) -> Self {
+        Task {
+            priority,
+            node,
+            edge_lo: 0,
+            edge_hi: WHOLE_RANGE,
+        }
+    }
+
+    /// A split task covering adjacency slots `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn with_range(priority: u64, node: NodeId, lo: u32, hi: u32) -> Self {
+        assert!(lo <= hi, "invalid edge range {lo}..{hi}");
+        Task {
+            priority,
+            node,
+            edge_lo: lo,
+            edge_hi: hi,
+        }
+    }
+
+    /// Whether this task covers the whole adjacency list.
+    pub fn is_whole(&self) -> bool {
+        self.edge_lo == 0 && self.edge_hi == WHOLE_RANGE
+    }
+
+    /// Resolves the adjacency sub-range against the node's actual degree.
+    pub fn resolve_range(&self, degree: usize) -> std::ops::Range<usize> {
+        let lo = (self.edge_lo as usize).min(degree);
+        let hi = if self.edge_hi == WHOLE_RANGE {
+            degree
+        } else {
+            (self.edge_hi as usize).min(degree)
+        };
+        lo..hi.max(lo)
+    }
+
+    /// The OBIM bucket this task falls into for a given bucket interval.
+    pub fn bucket(&self, lg_bucket_interval: u32) -> u64 {
+        self.priority >> lg_bucket_interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_task_resolves_to_full_degree() {
+        let t = Task::new(3, 7);
+        assert!(t.is_whole());
+        assert_eq!(t.resolve_range(10), 0..10);
+        assert_eq!(t.resolve_range(0), 0..0);
+    }
+
+    #[test]
+    fn split_task_clamps_to_degree() {
+        let t = Task::with_range(0, 1, 4, 8);
+        assert!(!t.is_whole());
+        assert_eq!(t.resolve_range(10), 4..8);
+        assert_eq!(t.resolve_range(6), 4..6);
+        assert_eq!(t.resolve_range(2), 2..2);
+    }
+
+    #[test]
+    fn bucket_discretizes_priority() {
+        // bucket_number = priority >> lg_bucket_interval (paper §2.1).
+        let t = Task::new(37, 0);
+        assert_eq!(t.bucket(0), 37);
+        assert_eq!(t.bucket(3), 4);
+        assert_eq!(t.bucket(10), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid edge range")]
+    fn with_range_rejects_inverted() {
+        let _ = Task::with_range(0, 0, 5, 2);
+    }
+}

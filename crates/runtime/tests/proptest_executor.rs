@@ -1,0 +1,138 @@
+//! Property tests over the simulated executor's accounting invariants.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use minnow_graph::gen::uniform::{self, UniformConfig};
+use minnow_graph::Csr;
+use minnow_runtime::sim_exec::{run_software, ExecConfig};
+use minnow_runtime::{Operator, PolicyKind, PrefetchKind, Task, TaskCtx};
+
+/// A BFS-like operator that counts its own pushes, used to check executor
+/// conservation invariants.
+#[derive(Debug)]
+struct CountingBfs {
+    graph: Arc<Csr>,
+    dist: Vec<u64>,
+    pushes: u64,
+}
+
+impl Operator for CountingBfs {
+    fn name(&self) -> &'static str {
+        "counting-bfs"
+    }
+    fn graph(&self) -> &Arc<Csr> {
+        &self.graph
+    }
+    fn initial_tasks(&self) -> Vec<Task> {
+        vec![Task::new(0, 0)]
+    }
+    fn default_policy(&self) -> PolicyKind {
+        PolicyKind::Obim(0)
+    }
+    fn prefetch_kind(&self) -> PrefetchKind {
+        PrefetchKind::Standard
+    }
+    fn execute(&mut self, task: Task, ctx: &mut TaskCtx) {
+        let v = task.node;
+        ctx.load_node(v);
+        ctx.add_instrs(8);
+        if self.dist[v as usize] < task.priority {
+            return;
+        }
+        self.dist[v as usize] = self.dist[v as usize].min(task.priority);
+        let d = self.dist[v as usize];
+        let graph = self.graph.clone();
+        for (e, u, _) in graph.edges_of(v) {
+            ctx.load_edge(e, u);
+            ctx.load_node(u);
+            ctx.add_branches(1);
+            ctx.add_instrs(6);
+            if self.dist[u as usize] > d + 1 {
+                self.dist[u as usize] = d + 1;
+                ctx.atomic_node(u);
+                ctx.push(Task::new(d + 1, u));
+                self.pushes += 1;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Without a timeout, executed tasks == pushed tasks + seeds, for any
+    /// thread count and policy: the executor loses and duplicates nothing.
+    #[test]
+    fn executor_conserves_tasks(seed in 0u64..200, threads in 1usize..6,
+                                policy in 0usize..4) {
+        let graph = Arc::new(uniform::generate(&UniformConfig::new(200, 3), seed));
+        let mut op = CountingBfs {
+            graph: graph.clone(),
+            dist: vec![u64::MAX; graph.nodes()],
+            pushes: 0,
+        };
+        op.dist[0] = 0;
+        let policy = [
+            PolicyKind::Fifo,
+            PolicyKind::Lifo,
+            PolicyKind::Obim(0),
+            PolicyKind::Chunked(4),
+        ][policy];
+        let report = run_software(&mut op, policy, &ExecConfig::new(threads));
+        prop_assert!(!report.timed_out);
+        prop_assert_eq!(report.tasks, op.pushes + 1, "pushed+seed == executed");
+        // BFS levels are exact regardless of policy/threads.
+        let (levels, _, _) = minnow_graph::stats::bfs_levels(&graph, 0);
+        for (v, &l) in levels.iter().enumerate() {
+            let want = if l == usize::MAX { u64::MAX } else { l as u64 };
+            prop_assert_eq!(op.dist[v], want);
+        }
+    }
+
+    /// Makespan, instruction count, and misses are deterministic functions
+    /// of (graph seed, threads, policy).
+    #[test]
+    fn executor_is_deterministic(seed in 0u64..100, threads in 1usize..5) {
+        let once = || {
+            let graph = Arc::new(uniform::generate(&UniformConfig::new(150, 3), seed));
+            let mut op = CountingBfs {
+                graph: graph.clone(),
+                dist: vec![u64::MAX; graph.nodes()],
+                pushes: 0,
+            };
+            op.dist[0] = 0;
+            run_software(&mut op, PolicyKind::Obim(0), &ExecConfig::new(threads))
+        };
+        let a = once();
+        let b = once();
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.instructions, b.instructions);
+        prop_assert_eq!(a.l2_misses, b.l2_misses);
+    }
+
+    /// The breakdown accounts every busy cycle: each component is bounded
+    /// by the total and the total is bounded by threads * makespan.
+    #[test]
+    fn breakdown_is_consistent(seed in 0u64..100, threads in 1usize..5) {
+        let graph = Arc::new(uniform::generate(&UniformConfig::new(150, 3), seed));
+        let mut op = CountingBfs {
+            graph: graph.clone(),
+            dist: vec![u64::MAX; graph.nodes()],
+            pushes: 0,
+        };
+        op.dist[0] = 0;
+        let r = run_software(&mut op, PolicyKind::Obim(0), &ExecConfig::new(threads));
+        let total = r.breakdown.total();
+        prop_assert!(total > 0);
+        prop_assert!(r.breakdown.useful <= total);
+        prop_assert!(r.breakdown.worklist <= total);
+        prop_assert!(
+            total <= r.makespan * threads as u64,
+            "busy {} > threads*makespan {}",
+            total,
+            r.makespan * threads as u64
+        );
+    }
+}

@@ -1,0 +1,459 @@
+//! Set-associative cache model with LRU replacement and per-line prefetch
+//! metadata.
+//!
+//! The Minnow credit system (paper §5.3.1) augments each L2 line with one
+//! *prefetch bit*: lines filled by the Minnow engine are marked, and when a
+//! marked line is accessed or evicted the bit is cleared and a credit is
+//! returned to the engine. [`Cache`] implements exactly that protocol and
+//! reports everything the paper's Fig. 18 (MPKI) and Fig. 20 (prefetch
+//! efficiency) need.
+
+use crate::config::CacheParams;
+use crate::stats::Counter;
+
+/// One resident cache line.
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    /// Full line address (`addr >> line_shift`); doubles as the tag.
+    line_addr: u64,
+    /// LRU timestamp (bigger = more recently used).
+    last_use: u64,
+    /// Dirty (written) since fill.
+    dirty: bool,
+    /// Minnow prefetch bit (paper §5.3.1).
+    prefetch: bool,
+}
+
+/// What happened to a victim line when a fill forced an eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Line address of the victim (`addr >> line_shift`).
+    pub line_addr: u64,
+    /// The victim was dirty and would be written back.
+    pub dirty: bool,
+    /// The victim still had its prefetch bit set — i.e. it was prefetched
+    /// but never used. Its credit must be returned (paper §5.3.1).
+    pub prefetch_unused: bool,
+}
+
+/// Result of a demand lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookup {
+    /// The line was resident.
+    pub hit: bool,
+    /// The line was resident *and* had its prefetch bit set; the bit has been
+    /// cleared and the corresponding credit must be returned.
+    pub prefetch_consumed: bool,
+}
+
+/// Aggregate cache statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Demand lookups that hit.
+    pub hits: Counter,
+    /// Demand lookups that missed.
+    pub misses: Counter,
+    /// Lines evicted to make room for fills.
+    pub evictions: Counter,
+    /// Fills performed on behalf of a prefetcher (marked lines).
+    pub prefetch_fills: Counter,
+    /// Prefetched lines consumed by a demand access before eviction.
+    pub prefetch_used: Counter,
+    /// Prefetched lines evicted before any demand access.
+    pub prefetch_evicted_unused: Counter,
+}
+
+impl CacheStats {
+    /// Prefetch efficiency as the paper defines it (Fig. 20): prefetched
+    /// lines used before eviction over total prefetch fills.
+    pub fn prefetch_efficiency(&self) -> f64 {
+        let fills = self.prefetch_fills.get();
+        if fills == 0 {
+            return 1.0;
+        }
+        self.prefetch_used.get() as f64 / fills as f64
+    }
+
+    /// Demand miss ratio (misses / lookups), or 0.0 with no traffic.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits.get() + self.misses.get();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses.get() as f64 / total as f64
+        }
+    }
+}
+
+/// A single set-associative, write-allocate, LRU cache.
+///
+/// The cache is a *presence* model: it tracks which lines are resident, not
+/// their data. Fills are explicit so that the surrounding
+/// [hierarchy](crate::hierarchy) can decide inclusion/exclusion policy and
+/// so prefetchers can insert marked lines.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    params: CacheParams,
+    sets: usize,
+    line_shift: u32,
+    /// `sets * ways` slots; `None` = invalid way.
+    slots: Vec<Option<Line>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`CacheParams::sets`]) or the
+    /// line size is not a power of two.
+    pub fn new(params: CacheParams) -> Self {
+        assert!(
+            params.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let sets = params.sets();
+        Cache {
+            params,
+            sets,
+            line_shift: params.line_bytes.trailing_zeros(),
+            slots: vec![None; sets * params.ways],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Geometry this cache was built with.
+    pub fn params(&self) -> &CacheParams {
+        &self.params
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (contents are kept, supporting warmup phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Maps a byte address to its line address.
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    #[inline]
+    fn set_range(&self, line_addr: u64) -> std::ops::Range<usize> {
+        let set = if self.sets.is_power_of_two() {
+            (line_addr as usize) & (self.sets - 1)
+        } else {
+            (line_addr as usize) % self.sets
+        };
+        let start = set * self.params.ways;
+        start..start + self.params.ways
+    }
+
+    /// Demand access. Updates LRU, clears the prefetch bit on a hit to a
+    /// marked line, and records hit/miss stats. The caller performs the fill
+    /// on a miss via [`Cache::fill`].
+    pub fn access(&mut self, addr: u64, write: bool) -> Lookup {
+        let line_addr = self.line_of(addr);
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(line_addr);
+        for slot in &mut self.slots[range] {
+            if let Some(line) = slot {
+                if line.line_addr == line_addr {
+                    line.last_use = tick;
+                    line.dirty |= write;
+                    let prefetch_consumed = line.prefetch;
+                    if prefetch_consumed {
+                        line.prefetch = false;
+                        self.stats.prefetch_used.inc();
+                    }
+                    self.stats.hits.inc();
+                    return Lookup {
+                        hit: true,
+                        prefetch_consumed,
+                    };
+                }
+            }
+        }
+        self.stats.misses.inc();
+        Lookup {
+            hit: false,
+            prefetch_consumed: false,
+        }
+    }
+
+    /// Non-mutating presence probe (no LRU update, no stats).
+    pub fn probe(&self, addr: u64) -> bool {
+        let line_addr = self.line_of(addr);
+        self.slots[self.set_range(line_addr)]
+            .iter()
+            .flatten()
+            .any(|l| l.line_addr == line_addr)
+    }
+
+    /// Returns whether the line holding `addr` is resident with its prefetch
+    /// bit still set (prefetched but not yet used).
+    pub fn probe_prefetched(&self, addr: u64) -> bool {
+        let line_addr = self.line_of(addr);
+        self.slots[self.set_range(line_addr)]
+            .iter()
+            .flatten()
+            .any(|l| l.line_addr == line_addr && l.prefetch)
+    }
+
+    /// Inserts the line holding `addr`. `prefetch` marks the line as a
+    /// prefetch fill (paper §5.3.1). Returns the eviction, if any.
+    ///
+    /// Filling an already-resident line refreshes LRU; a demand fill
+    /// (`prefetch == false`) over a marked line leaves the mark intact so the
+    /// pending credit is still returned on first *demand access* — in
+    /// practice the hierarchy always accesses before filling, so this path
+    /// only matters for prefetch-over-prefetch, which is idempotent.
+    pub fn fill(&mut self, addr: u64, write: bool, prefetch: bool) -> Option<Eviction> {
+        let line_addr = self.line_of(addr);
+        self.tick += 1;
+        let tick = self.tick;
+        if prefetch {
+            self.stats.prefetch_fills.inc();
+        }
+        let range = self.set_range(line_addr);
+
+        // Already resident: refresh.
+        for slot in &mut self.slots[range.clone()] {
+            if let Some(line) = slot {
+                if line.line_addr == line_addr {
+                    line.last_use = tick;
+                    line.dirty |= write;
+                    return None;
+                }
+            }
+        }
+
+        // Free way?
+        let new_line = Line {
+            line_addr,
+            last_use: tick,
+            dirty: write,
+            prefetch,
+        };
+        let mut victim_idx = None;
+        let mut victim_use = u64::MAX;
+        for idx in range {
+            match &self.slots[idx] {
+                None => {
+                    self.slots[idx] = Some(new_line);
+                    return None;
+                }
+                Some(line) => {
+                    if line.last_use < victim_use {
+                        victim_use = line.last_use;
+                        victim_idx = Some(idx);
+                    }
+                }
+            }
+        }
+
+        // Evict LRU.
+        let idx = victim_idx.expect("non-empty set must have an LRU victim");
+        let victim = self.slots[idx].take().expect("victim slot must be occupied");
+        self.slots[idx] = Some(new_line);
+        self.stats.evictions.inc();
+        if victim.prefetch {
+            self.stats.prefetch_evicted_unused.inc();
+        }
+        Some(Eviction {
+            line_addr: victim.line_addr,
+            dirty: victim.dirty,
+            prefetch_unused: victim.prefetch,
+        })
+    }
+
+    /// Clears the prefetch mark on `addr`'s line without a full access
+    /// (used when an inner-level hit consumes the prefetched data). Returns
+    /// whether a mark was cleared; counts as a used prefetch.
+    pub fn consume_mark(&mut self, addr: u64) -> bool {
+        let line_addr = self.line_of(addr);
+        let range = self.set_range(line_addr);
+        for slot in &mut self.slots[range] {
+            if let Some(line) = slot {
+                if line.line_addr == line_addr && line.prefetch {
+                    line.prefetch = false;
+                    self.stats.prefetch_used.inc();
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Invalidates the line holding `addr` (directory-initiated).
+    ///
+    /// Returns the invalidated line's metadata as an [`Eviction`] so callers
+    /// can return credits for marked lines; `None` if the line was absent.
+    pub fn invalidate(&mut self, addr: u64) -> Option<Eviction> {
+        let line_addr = self.line_of(addr);
+        let range = self.set_range(line_addr);
+        for idx in range {
+            if let Some(line) = self.slots[idx] {
+                if line.line_addr == line_addr {
+                    self.slots[idx] = None;
+                    if line.prefetch {
+                        self.stats.prefetch_evicted_unused.inc();
+                    }
+                    return Some(Eviction {
+                        line_addr,
+                        dirty: line.dirty,
+                        prefetch_unused: line.prefetch,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of currently resident lines (test/diagnostic helper).
+    pub fn resident_lines(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// Number of resident lines whose prefetch bit is still set.
+    pub fn marked_lines(&self) -> usize {
+        self.slots.iter().flatten().filter(|l| l.prefetch).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B.
+        Cache::new(CacheParams {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            latency: 1,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x100, false).hit);
+        c.fill(0x100, false, false);
+        assert!(c.access(0x100, false).hit);
+        assert_eq!(c.stats().hits.get(), 1);
+        assert_eq!(c.stats().misses.get(), 1);
+    }
+
+    #[test]
+    fn same_line_different_offsets_hit() {
+        let mut c = tiny();
+        c.fill(0x1000, false, false);
+        assert!(c.access(0x103F, false).hit);
+        assert!(c.access(0x1038, false).hit);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (set stride = sets*line = 256B).
+        let a = 0x0000;
+        let b = 0x0100;
+        let d = 0x0200;
+        c.fill(a, false, false);
+        c.fill(b, false, false);
+        c.access(a, false); // refresh a: b is now LRU
+        let ev = c.fill(d, false, false).expect("must evict");
+        assert_eq!(ev.line_addr, c.line_of(b));
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn prefetch_bit_cleared_on_access() {
+        let mut c = tiny();
+        c.fill(0x40, false, true);
+        assert!(c.probe_prefetched(0x40));
+        let l = c.access(0x40, false);
+        assert!(l.hit && l.prefetch_consumed);
+        assert!(!c.probe_prefetched(0x40));
+        // Second access does not re-consume.
+        assert!(!c.access(0x40, false).prefetch_consumed);
+        assert_eq!(c.stats().prefetch_used.get(), 1);
+        assert_eq!(c.stats().prefetch_fills.get(), 1);
+    }
+
+    #[test]
+    fn prefetch_eviction_reports_unused() {
+        let mut c = tiny();
+        let a = 0x0000;
+        let b = 0x0100;
+        let d = 0x0200;
+        c.fill(a, false, true);
+        c.fill(b, false, false);
+        c.access(b, false);
+        let ev = c.fill(d, false, false).expect("evicts a");
+        assert!(ev.prefetch_unused);
+        assert_eq!(c.stats().prefetch_evicted_unused.get(), 1);
+        assert!((c.stats().prefetch_efficiency() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dirty_eviction_flag() {
+        let mut c = tiny();
+        let a = 0x0000;
+        let b = 0x0100;
+        let d = 0x0200;
+        c.fill(a, true, false);
+        c.fill(b, false, false);
+        c.access(b, false);
+        let ev = c.fill(d, false, false).expect("evicts a");
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.fill(0x40, false, true);
+        let ev = c.invalidate(0x40).expect("line present");
+        assert!(ev.prefetch_unused);
+        assert!(!c.probe(0x40));
+        assert!(c.invalidate(0x40).is_none());
+    }
+
+    #[test]
+    fn resident_and_marked_counts() {
+        let mut c = tiny();
+        c.fill(0x00, false, true);
+        c.fill(0x40, false, false);
+        assert_eq!(c.resident_lines(), 2);
+        assert_eq!(c.marked_lines(), 1);
+    }
+
+    #[test]
+    fn refill_resident_line_is_idempotent() {
+        let mut c = tiny();
+        c.fill(0x80, false, true);
+        assert!(c.fill(0x80, false, true).is_none());
+        assert_eq!(c.resident_lines(), 1);
+        // Two fills counted, one line used later => efficiency 0.5.
+        c.access(0x80, false);
+        assert!((c.stats().prefetch_efficiency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_defaults_to_one_without_prefetching() {
+        let c = tiny();
+        assert_eq!(c.stats().prefetch_efficiency(), 1.0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Machine configuration (paper Table 3) and experiment scaling.
+//!
+//! The paper simulates a 64-core Skylake-like CMP. Reproduction experiments
+//! run scaled-down graph inputs (10^4–10^5 nodes instead of 10^6–10^7), so
+//! [`SimConfig::scaled`] also shrinks cache capacities by the same factor to
+//! preserve the capacity *ratios* that drive the paper's cache-behaviour
+//! results (e.g. TC's input fitting in LLC, G500's hub node overflowing it).
+
+use crate::cycles::Cycle;
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes (64 throughout the paper).
+    pub line_bytes: usize,
+    /// Access (hit) latency in cycles.
+    pub latency: Cycle,
+}
+
+impl CacheParams {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly or is degenerate.
+    pub fn sets(&self) -> usize {
+        assert!(self.line_bytes > 0 && self.ways > 0, "degenerate cache geometry");
+        let lines = self.size_bytes / self.line_bytes;
+        assert!(
+            lines >= self.ways && lines % self.ways == 0,
+            "cache size {} must be a multiple of ways*line ({}x{})",
+            self.size_bytes,
+            self.ways,
+            self.line_bytes
+        );
+        lines / self.ways
+    }
+
+    /// Number of cache lines in the cache.
+    pub fn lines(&self) -> usize {
+        self.size_bytes / self.line_bytes
+    }
+}
+
+/// Out-of-order core buffer sizes (paper Table 3, Skylake-like).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OooParams {
+    /// Reorder buffer entries.
+    pub rob: usize,
+    /// Unified reservation station entries.
+    pub rs: usize,
+    /// Load queue entries.
+    pub load_queue: usize,
+    /// Store queue entries.
+    pub store_queue: usize,
+    /// Peak sustainable IPC on non-stalled code.
+    pub issue_width: u64,
+    /// Branch misprediction pipeline restart penalty, cycles.
+    pub mispredict_penalty: Cycle,
+}
+
+impl OooParams {
+    /// The paper's baseline Skylake-like core (Table 3).
+    pub fn skylake() -> Self {
+        OooParams {
+            rob: 224,
+            rs: 97,
+            load_queue: 72,
+            store_queue: 56,
+            issue_width: 4,
+            mispredict_penalty: 16,
+        }
+    }
+
+    /// Scales every buffer by `factor`, keeping the paper's sizing ratios
+    /// (used by the Fig. 4 ROB sweep, which holds RS:LQ:SQ proportional).
+    pub fn scaled_rob(rob: usize) -> Self {
+        let base = OooParams::skylake();
+        let scale = |x: usize| ((x * rob) / base.rob).max(1);
+        OooParams {
+            rob,
+            rs: scale(base.rs),
+            load_queue: scale(base.load_queue),
+            store_queue: scale(base.store_queue),
+            issue_width: base.issue_width,
+            mispredict_penalty: base.mispredict_penalty,
+        }
+    }
+}
+
+/// Minnow engine hardware parameters (paper Table 3 + §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineParams {
+    /// Front-end local task queue entries (64 in the paper).
+    pub local_queue: usize,
+    /// Local queue access latency seen by a `minnow_dequeue` hit.
+    pub local_queue_latency: Cycle,
+    /// Back-end threadlet queue entries (128 in the paper §5.4).
+    pub threadlet_queue: usize,
+    /// CAM-based load buffer entries (32 in the paper).
+    pub load_buffer: usize,
+    /// Load-buffer CAM wakeup latency (4 cycles in the paper).
+    pub load_buffer_wakeup: Cycle,
+    /// Threadlet context size in bytes (~64B per §5.1).
+    pub context_bytes: usize,
+    /// Private data memory bytes (2KB per §5.4).
+    pub data_memory_bytes: usize,
+    /// Local-queue refill threshold: proactively fetch from the global
+    /// worklist when occupancy drops below this (paper §5.2, programmable).
+    pub refill_threshold: usize,
+}
+
+impl EngineParams {
+    /// The paper's evaluated engine configuration.
+    pub fn paper() -> Self {
+        EngineParams {
+            local_queue: 64,
+            local_queue_latency: 10,
+            threadlet_queue: 128,
+            load_buffer: 32,
+            load_buffer_wakeup: 4,
+            context_bytes: 64,
+            data_memory_bytes: 2048,
+            refill_threshold: 16,
+        }
+    }
+}
+
+/// Full machine description (paper Table 3).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of cores (and hardware worker threads; 1 thread/core).
+    pub cores: usize,
+    /// Core clock in GHz (2.5 in the paper).
+    pub ghz: f64,
+    /// OOO core buffers.
+    pub ooo: OooParams,
+    /// L1 data cache (per core).
+    pub l1d: CacheParams,
+    /// L2 cache (per core). The Minnow engine attaches here.
+    pub l2: CacheParams,
+    /// L3 cache (shared, banked 2MB/core in the paper).
+    pub l3: CacheParams,
+    /// Main-memory base (uncontended) latency in cycles.
+    pub mem_latency: Cycle,
+    /// DRAM channels (12 in the paper; Fig. 21 sweeps 1..12).
+    pub mem_channels: usize,
+    /// Per-channel service time for one 64B line, cycles (bandwidth model).
+    pub mem_channel_service: Cycle,
+    /// NoC mesh width (8 => 8x8 = 64 tiles).
+    pub mesh_width: usize,
+    /// Cycles per mesh hop (3 in the paper).
+    pub noc_hop_cycles: Cycle,
+    /// Link width in bytes per cycle (512 bits = 64B in the paper).
+    pub noc_link_bytes: usize,
+    /// Minnow engine parameters.
+    pub engine: EngineParams,
+    /// Probability that a data-dependent branch mispredicts (TAGE-like
+    /// predictors do well on regular code; graph traversal compare-branches
+    /// depending on loaded values mispredict far more often).
+    pub branch_mispredict_rate: f64,
+}
+
+impl SimConfig {
+    /// The paper's full 64-core baseline (Table 3).
+    pub fn paper() -> Self {
+        SimConfig {
+            cores: 64,
+            ghz: 2.5,
+            ooo: OooParams::skylake(),
+            l1d: CacheParams {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                latency: 4,
+            },
+            l2: CacheParams {
+                size_bytes: 256 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                latency: 11,
+            },
+            l3: CacheParams {
+                size_bytes: 64 * 1024 * 1024,
+                ways: 16,
+                line_bytes: 64,
+                latency: 27,
+            },
+            mem_latency: 200,
+            mem_channels: 12,
+            mem_channel_service: 8,
+            mesh_width: 8,
+            noc_hop_cycles: 3,
+            noc_link_bytes: 64,
+            engine: EngineParams::paper(),
+            branch_mispredict_rate: 0.06,
+        }
+    }
+
+    /// A scaled-down machine for fast experiments: `cores` cores and caches
+    /// shrunk by `shrink` (so a 16x-smaller input sees the same capacity
+    /// pressure as the paper's inputs on the full machine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or not a perfect square times nothing —
+    /// specifically, the mesh width is `ceil(sqrt(cores))` so any positive
+    /// count is accepted; only `shrink == 0` panics.
+    pub fn scaled(cores: usize, shrink: usize) -> Self {
+        assert!(cores > 0, "need at least one core");
+        assert!(shrink > 0, "shrink factor must be positive");
+        let mut cfg = SimConfig::paper();
+        cfg.cores = cores;
+        cfg.mesh_width = (cores as f64).sqrt().ceil() as usize;
+        // Keep at least a sane minimum so geometry stays valid.
+        let shrink_cache = |c: &mut CacheParams, min_bytes: usize| {
+            c.size_bytes = (c.size_bytes / shrink).max(min_bytes);
+        };
+        shrink_cache(&mut cfg.l1d, 4 * 1024);
+        shrink_cache(&mut cfg.l2, 16 * 1024);
+        // L3 scales with core count in the paper (2MB/core).
+        cfg.l3.size_bytes = ((2 * 1024 * 1024 * cores) / shrink).max(64 * 1024);
+        // Keep core:memory bandwidth ratio: channels scale with cores
+        // (12 channels for 64 cores).
+        cfg.mem_channels = ((12 * cores).div_ceil(64)).max(1);
+        cfg
+    }
+
+    /// A small developer-friendly machine used in doctests and unit tests.
+    pub fn small(cores: usize) -> Self {
+        SimConfig::scaled(cores, 16)
+    }
+
+    /// Total L2 lines available to one core's prefetcher — the natural upper
+    /// bound for Minnow prefetch credits.
+    pub fn l2_lines(&self) -> usize {
+        self.l2.lines()
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table3() {
+        let c = SimConfig::paper();
+        assert_eq!(c.cores, 64);
+        assert_eq!(c.ooo.rob, 224);
+        assert_eq!(c.ooo.load_queue, 72);
+        assert_eq!(c.ooo.store_queue, 56);
+        assert_eq!(c.l1d.size_bytes, 32 * 1024);
+        assert_eq!(c.l2.size_bytes, 256 * 1024);
+        assert_eq!(c.l3.size_bytes, 64 * 1024 * 1024);
+        assert_eq!(c.mem_channels, 12);
+        assert_eq!(c.mesh_width, 8);
+        assert_eq!(c.engine.local_queue, 64);
+        assert_eq!(c.engine.load_buffer, 32);
+    }
+
+    #[test]
+    fn cache_sets_geometry() {
+        let c = SimConfig::paper();
+        assert_eq!(c.l1d.sets(), 64);
+        assert_eq!(c.l2.sets(), 512);
+        assert_eq!(c.l1d.lines(), 512);
+    }
+
+    #[test]
+    fn scaled_rob_keeps_ratios() {
+        let p = OooParams::scaled_rob(448);
+        assert_eq!(p.rob, 448);
+        assert_eq!(p.rs, 194);
+        assert_eq!(p.load_queue, 144);
+        assert_eq!(p.store_queue, 112);
+        let small = OooParams::scaled_rob(16);
+        assert!(small.load_queue >= 1);
+    }
+
+    #[test]
+    fn scaled_config_shrinks_caches_and_channels() {
+        let c = SimConfig::scaled(16, 16);
+        assert_eq!(c.cores, 16);
+        assert_eq!(c.mesh_width, 4);
+        assert_eq!(c.mem_channels, 3);
+        assert!(c.l3.size_bytes < SimConfig::paper().l3.size_bytes);
+        // Geometry must stay valid.
+        let _ = c.l1d.sets();
+        let _ = c.l2.sets();
+        let _ = c.l3.sets();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn scaled_rejects_zero_cores() {
+        let _ = SimConfig::scaled(0, 1);
+    }
+}

@@ -1,0 +1,351 @@
+//! Analytic out-of-order core timing model.
+//!
+//! The paper's §3.3 argues that ROB size is *not* the limiting factor for
+//! memory-level parallelism in graph workloads — two serializing events are:
+//!
+//! 1. **branch mispredictions** that depend on long-latency loads flush the
+//!    window and stop MLP extraction, and
+//! 2. **x86 atomics** act as memory fences, draining all outstanding loads
+//!    and stores before each `lock`-prefixed operation.
+//!
+//! §3.4 adds that only ~10% of loads are *delinquent* (first touches of graph
+//! nodes/edges that usually miss), so even a 72-entry load queue holds only a
+//! handful of misses.
+//!
+//! [`CoreModel`] turns those observations into a timing formula. A task's
+//! recorded trace (instruction count, branch/atomic counts, and the actual
+//! latencies of its delinquent loads as resolved by the cache hierarchy) is
+//! mapped to a cycle count by:
+//!
+//! * computing the *effective window*: the ROB truncated by the mean distance
+//!   between serializing events (mispredictions, and fences when modeled),
+//! * deriving achievable MLP from the delinquent-load density inside that
+//!   window, clamped by the load queue,
+//! * overlapping compute with memory stall (`max(compute, stall)`), and
+//! * adding explicit penalties for mispredict restarts and fence drains.
+//!
+//! This reproduces Fig. 4 (flat "realistic" ROB scaling; near-linear scaling
+//! once branches and fences are idealized) without simulating individual
+//! instructions.
+
+use crate::config::OooParams;
+use crate::cycles::Cycle;
+
+/// Idealization switches for the Fig. 4 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreMode {
+    /// Perfect branch prediction (no window truncation, no restart penalty).
+    pub perfect_branch: bool,
+    /// Atomics do not fence (no drain penalty, no MLP segmentation).
+    pub no_fence: bool,
+}
+
+impl CoreMode {
+    /// The realistic baseline: TAGE-like predictor, x86 fencing atomics.
+    pub fn realistic() -> Self {
+        CoreMode {
+            perfect_branch: false,
+            no_fence: false,
+        }
+    }
+
+    /// Fully idealized (perfect prediction and no fences).
+    pub fn ideal() -> Self {
+        CoreMode {
+            perfect_branch: true,
+            no_fence: true,
+        }
+    }
+}
+
+/// Memory/control summary of one executed task, produced by the executor
+/// from the functional run against the cache hierarchy.
+#[derive(Debug, Clone, Default)]
+pub struct TaskTrace {
+    /// Total dynamic instructions.
+    pub instructions: u64,
+    /// Data-dependent branches (graph-value compares).
+    pub branches: u64,
+    /// Atomic read-modify-writes.
+    pub atomics: u64,
+    /// Latencies of delinquent loads (first touches that left the L1),
+    /// as resolved by the memory hierarchy.
+    pub delinquent_latencies: Vec<Cycle>,
+    /// Non-delinquent loads (secondary node/edge touches, stack, spills);
+    /// assumed to hit close to the core.
+    pub other_loads: u64,
+    /// Plain stores.
+    pub stores: u64,
+}
+
+impl TaskTrace {
+    /// Total loads (delinquent + other).
+    pub fn loads(&self) -> u64 {
+        self.delinquent_latencies.len() as u64 + self.other_loads
+    }
+
+    /// Delinquent-load density: the paper's Fig. 6 metric.
+    pub fn delinquent_density(&self) -> f64 {
+        let loads = self.loads();
+        if loads == 0 {
+            0.0
+        } else {
+            self.delinquent_latencies.len() as f64 / loads as f64
+        }
+    }
+}
+
+/// Cycle breakdown of one task (Fig. 5 accounting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaskCycles {
+    /// Issue-limited compute cycles that could not overlap with memory.
+    pub compute: Cycle,
+    /// Memory stall cycles after MLP overlap.
+    pub memory: Cycle,
+    /// Branch misprediction restart penalties.
+    pub branch: Cycle,
+    /// Fence drain penalties from atomics.
+    pub fence: Cycle,
+}
+
+impl TaskCycles {
+    /// Total task latency.
+    pub fn total(&self) -> Cycle {
+        self.compute + self.memory + self.branch + self.fence
+    }
+}
+
+/// The analytic core model.
+#[derive(Debug, Clone)]
+pub struct CoreModel {
+    params: OooParams,
+    mode: CoreMode,
+    mispredict_rate: f64,
+    /// Fixed cost of executing one fencing atomic (L1 RMW + drain bubble).
+    fence_drain: Cycle,
+    /// Fraction of instructions that are loads, used to convert an
+    /// instruction window into a load window.
+    loads_per_instr: f64,
+}
+
+impl CoreModel {
+    /// Builds a core model.
+    ///
+    /// `mispredict_rate` is the probability that a data-dependent branch
+    /// mispredicts (paper Table 3's TAGE predictor does well on loop
+    /// branches; graph compare-branches are the hard ones and the executor
+    /// only reports those here).
+    pub fn new(params: OooParams, mode: CoreMode, mispredict_rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&mispredict_rate));
+        CoreModel {
+            params,
+            mode,
+            mispredict_rate,
+            fence_drain: 18,
+            loads_per_instr: 0.30,
+        }
+    }
+
+    /// The OOO buffer configuration in use.
+    pub fn params(&self) -> &OooParams {
+        &self.params
+    }
+
+    /// The idealization mode in use.
+    pub fn mode(&self) -> CoreMode {
+        self.mode
+    }
+
+    /// Effective instruction window: ROB truncated by serializing events.
+    fn effective_window(&self, trace: &TaskTrace) -> f64 {
+        let rob = self.params.rob as f64;
+        let instrs = trace.instructions.max(1) as f64;
+        let mut window = rob;
+        if !self.mode.perfect_branch && trace.branches > 0 {
+            let mispredicts = trace.branches as f64 * self.mispredict_rate;
+            if mispredicts > 0.0 {
+                let span = instrs / (mispredicts + 1.0);
+                window = window.min(span);
+            }
+        }
+        if !self.mode.no_fence && trace.atomics > 0 {
+            let span = instrs / (trace.atomics as f64 + 1.0);
+            window = window.min(span);
+        }
+        window.max(8.0)
+    }
+
+    /// Achievable memory-level parallelism for this trace (exposed for the
+    /// Fig. 4/6 analyses and tests).
+    pub fn effective_mlp(&self, trace: &TaskTrace) -> f64 {
+        let delinquent = trace.delinquent_latencies.len() as f64;
+        if delinquent == 0.0 {
+            return 1.0;
+        }
+        let window = self.effective_window(trace);
+        let density = trace.delinquent_density();
+        // Delinquent loads visible in one window.
+        let in_window = window * self.loads_per_instr * density;
+        in_window.clamp(1.0, self.params.load_queue as f64)
+    }
+
+    /// Maps a task trace to its cycle breakdown.
+    pub fn task_cycles(&self, trace: &TaskTrace) -> TaskCycles {
+        let compute = trace.instructions.div_ceil(self.params.issue_width).max(1);
+
+        let mlp = self.effective_mlp(trace);
+        let total_miss: Cycle = trace.delinquent_latencies.iter().sum();
+        let stall = (total_miss as f64 / mlp).round() as Cycle;
+
+        // Compute and memory overlap in an OOO core: total latency is
+        // max(compute, stall), attributed as "memory" for the overlapped
+        // region and "compute" for the issue-limited remainder.
+        let (compute_part, memory_part) = if stall >= compute {
+            (0, stall)
+        } else {
+            (compute - stall, stall)
+        };
+
+        let branch = if self.mode.perfect_branch {
+            0
+        } else {
+            let mispredicts = trace.branches as f64 * self.mispredict_rate;
+            (mispredicts * self.params.mispredict_penalty as f64).round() as Cycle
+        };
+        let fence = if self.mode.no_fence {
+            // Atomics still execute, but pipelined like stores.
+            trace.atomics
+        } else {
+            trace.atomics * self.fence_drain
+        };
+
+        TaskCycles {
+            compute: compute_part,
+            memory: memory_part,
+            branch,
+            fence,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(instrs: u64, branches: u64, atomics: u64, misses: &[Cycle]) -> TaskTrace {
+        TaskTrace {
+            instructions: instrs,
+            branches,
+            atomics,
+            delinquent_latencies: misses.to_vec(),
+            other_loads: instrs * 3 / 10,
+            stores: instrs / 10,
+        }
+    }
+
+    fn model(rob: usize, mode: CoreMode) -> CoreModel {
+        CoreModel::new(OooParams::scaled_rob(rob), mode, 0.06)
+    }
+
+    #[test]
+    fn compute_only_task_is_issue_limited() {
+        let m = model(224, CoreMode::realistic());
+        let t = trace(400, 0, 0, &[]);
+        let c = m.task_cycles(&t);
+        assert_eq!(c.total(), 100); // 400 instrs / width 4
+        assert_eq!(c.memory, 0);
+    }
+
+    #[test]
+    fn misses_dominate_small_tasks() {
+        let m = model(224, CoreMode::realistic());
+        let t = trace(200, 20, 0, &[300, 300, 300, 300]);
+        let c = m.task_cycles(&t);
+        assert!(c.memory > 0);
+        assert!(c.total() > 200 / 4);
+    }
+
+    #[test]
+    fn ideal_mode_scales_with_rob() {
+        // Many delinquent misses, frequent branches: realistic window is
+        // branch-limited so big ROBs do not help; ideal windows do.
+        let misses: Vec<Cycle> = vec![250; 64];
+        let t = trace(2000, 200, 0, &misses);
+        let real_small = model(256, CoreMode::realistic()).task_cycles(&t).total();
+        let real_big = model(1024, CoreMode::realistic()).task_cycles(&t).total();
+        let ideal_small = model(256, CoreMode::ideal()).task_cycles(&t).total();
+        let ideal_big = model(1024, CoreMode::ideal()).task_cycles(&t).total();
+
+        let real_gain = real_small as f64 / real_big as f64;
+        let ideal_gain = ideal_small as f64 / ideal_big as f64;
+        assert!(
+            ideal_gain > real_gain + 0.2,
+            "ideal must benefit more from ROB: real {real_gain:.2} ideal {ideal_gain:.2}"
+        );
+    }
+
+    #[test]
+    fn fences_hurt_atomic_heavy_tasks() {
+        let misses: Vec<Cycle> = vec![250; 16];
+        let t = trace(1000, 20, 40, &misses); // PageRank-like: atomics everywhere
+        let fenced = model(224, CoreMode::realistic()).task_cycles(&t);
+        let unfenced = model(
+            224,
+            CoreMode {
+                perfect_branch: false,
+                no_fence: true,
+            },
+        )
+        .task_cycles(&t);
+        assert!(
+            fenced.total() as f64 > unfenced.total() as f64 * 1.3,
+            "fences must cost >30%: {} vs {}",
+            fenced.total(),
+            unfenced.total()
+        );
+    }
+
+    #[test]
+    fn mlp_is_clamped_by_load_queue() {
+        let m = model(224, CoreMode::ideal());
+        let misses: Vec<Cycle> = vec![250; 4000];
+        let t = TaskTrace {
+            instructions: 8000,
+            branches: 0,
+            atomics: 0,
+            delinquent_latencies: misses,
+            other_loads: 0,
+            stores: 0,
+        };
+        assert!(m.effective_mlp(&t) <= m.params().load_queue as f64 + 1e-9);
+        assert!(m.effective_mlp(&t) >= 1.0);
+    }
+
+    #[test]
+    fn empty_trace_has_unit_mlp() {
+        let m = model(224, CoreMode::realistic());
+        assert_eq!(m.effective_mlp(&TaskTrace::default()), 1.0);
+    }
+
+    #[test]
+    fn delinquent_density_matches_definition() {
+        let t = TaskTrace {
+            instructions: 100,
+            branches: 0,
+            atomics: 0,
+            delinquent_latencies: vec![100; 10],
+            other_loads: 90,
+            stores: 0,
+        };
+        assert!((t.delinquent_density() - 0.1).abs() < 1e-12);
+        assert_eq!(t.loads(), 100);
+    }
+
+    #[test]
+    fn total_is_sum_of_parts() {
+        let m = model(224, CoreMode::realistic());
+        let t = trace(500, 30, 5, &[200, 200]);
+        let c = m.task_cycles(&t);
+        assert_eq!(c.total(), c.compute + c.memory + c.branch + c.fence);
+    }
+}

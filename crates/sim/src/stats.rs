@@ -1,0 +1,178 @@
+//! Lightweight statistics counters shared by all models.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Running statistics over a stream of samples: count, sum, min, max, mean.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Distribution {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Distribution {
+    /// Creates an empty distribution.
+    pub fn new() -> Self {
+        Distribution {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another distribution into this one.
+    pub fn merge(&mut self, other: &Distribution) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+impl fmt::Display for Distribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            write!(f, "n=0")
+        } else {
+            write!(
+                f,
+                "n={} mean={:.2} min={:.2} max={:.2}",
+                self.count, self.mean(), self.min, self.max
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(format!("{c}"), "0");
+    }
+
+    #[test]
+    fn distribution_tracks_extremes_and_mean() {
+        let mut d = Distribution::new();
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.min(), None);
+        for x in [2.0, 4.0, 6.0] {
+            d.record(x);
+        }
+        assert_eq!(d.count(), 3);
+        assert!((d.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(d.min(), Some(2.0));
+        assert_eq!(d.max(), Some(6.0));
+    }
+
+    #[test]
+    fn distribution_merge() {
+        let mut a = Distribution::new();
+        a.record(1.0);
+        let mut b = Distribution::new();
+        b.record(9.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(9.0));
+        let empty = Distribution::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn distribution_display_nonempty() {
+        let mut d = Distribution::new();
+        assert_eq!(format!("{d}"), "n=0");
+        d.record(3.0);
+        assert!(format!("{d}").contains("n=1"));
+    }
+}

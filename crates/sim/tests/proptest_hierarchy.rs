@@ -1,0 +1,88 @@
+//! Property tests over the memory hierarchy's invariants.
+
+use proptest::prelude::*;
+
+use minnow_sim::hierarchy::{AccessKind, CacheLevel, MemoryHierarchy};
+use minnow_sim::SimConfig;
+
+fn any_kind() -> impl Strategy<Value = AccessKind> {
+    prop_oneof![
+        Just(AccessKind::Load),
+        Just(AccessKind::Store),
+        Just(AccessKind::Atomic),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Latency is always at least the L1 hit latency, and repeating the
+    /// same access immediately always hits L1.
+    #[test]
+    fn access_latency_bounds(ops in prop::collection::vec((0usize..4, 0u64..(1 << 18), any_kind()), 1..300)) {
+        let cfg = SimConfig::small(4);
+        let mut mem = MemoryHierarchy::new(&cfg);
+        let mut now = 0u64;
+        for (core, addr, kind) in ops {
+            let r = mem.access(core, addr, kind, now);
+            prop_assert!(r.latency >= cfg.l1d.latency);
+            now += r.latency;
+            let again = mem.access(core, addr, AccessKind::Load, now);
+            prop_assert_eq!(again.level, CacheLevel::L1, "immediate re-access must hit L1");
+            now += again.latency;
+        }
+        let t = mem.total_stats();
+        prop_assert!(t.l2_misses <= t.l1_misses);
+        prop_assert!(t.l3_misses <= t.l2_misses);
+    }
+
+    /// Credit conservation across arbitrary interleavings of prefetch
+    /// fills and demand accesses: every filled credit is eventually
+    /// drainable (consumed or still marked).
+    #[test]
+    fn prefetch_credits_conserved(ops in prop::collection::vec((0u64..256, any::<bool>()), 1..400)) {
+        let cfg = SimConfig::small(1);
+        let mut mem = MemoryHierarchy::new(&cfg);
+        let mut filled = 0u64;
+        let mut drained = 0u64;
+        let mut now = 0u64;
+        for (slot, demand) in ops {
+            let addr = 0x9000_0000 + slot * 64;
+            if demand {
+                let r = mem.access(0, addr, AccessKind::Load, now);
+                now += r.latency;
+            } else {
+                let r = mem.prefetch_fill(0, addr, now);
+                if r.filled {
+                    filled += 1;
+                }
+                now += 10;
+            }
+            drained += mem.drain_returned_credits(0);
+        }
+        let still_marked = mem.l2_cache(0).marked_lines() as u64;
+        prop_assert_eq!(filled, drained + still_marked,
+            "every credit is either returned or still marked");
+    }
+
+    /// Writes gain exclusive ownership: after core A writes, core B's copy
+    /// is gone (its next access leaves the private caches).
+    #[test]
+    fn write_invalidates_all_sharers(addr in (0u64..(1 << 14)).prop_map(|a| a * 64),
+                                     writer in 0usize..4) {
+        let cfg = SimConfig::small(4);
+        let mut mem = MemoryHierarchy::new(&cfg);
+        for core in 0..4 {
+            mem.access(core, addr, AccessKind::Load, 0);
+        }
+        mem.access(writer, addr, AccessKind::Store, 1000);
+        for core in 0..4 {
+            let r = mem.access(core, addr, AccessKind::Load, 2000);
+            if core == writer {
+                prop_assert_eq!(r.level, CacheLevel::L1);
+            } else {
+                prop_assert!(r.level >= CacheLevel::L3, "sharer {} kept a stale copy", core);
+            }
+        }
+    }
+}

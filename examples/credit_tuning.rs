@@ -1,0 +1,71 @@
+//! Prefetch-credit tuning: a miniature of the paper's Fig. 18/19/20 on one
+//! workload — sweep the credit pool and watch MPKI, speedup, and prefetch
+//! efficiency trade off (too few credits: can't hide latency; too many:
+//! L2 thrashing).
+//!
+//! ```sh
+//! cargo run --release --example credit_tuning
+//! ```
+
+use std::sync::Arc;
+
+use minnow::algos::bfs::Bfs;
+use minnow::engine::offload::{MinnowConfig, MinnowScheduler};
+use minnow::graph::{inputs, AddressMap};
+use minnow::runtime::sim_exec::{run, ExecConfig};
+use minnow::runtime::Operator;
+use minnow::sim::MemoryHierarchy;
+
+fn main() {
+    let graph = Arc::new(inputs::r4(1.0, 3));
+    let threads = 8;
+    let cfg = ExecConfig::new(threads);
+    println!(
+        "BFS on r4 analogue ({} nodes, {} edges), {threads} cores\n",
+        graph.nodes(),
+        graph.edges()
+    );
+
+    // Baseline without prefetching.
+    let mut op = Bfs::new(graph.clone(), 0);
+    let mut mem = MemoryHierarchy::new(&cfg.sim);
+    let mut sched = MinnowScheduler::new(
+        graph.clone(),
+        AddressMap::standard(),
+        op.prefetch_kind(),
+        threads,
+        MinnowConfig::no_prefetch(0),
+    );
+    let base = run(&mut op, &mut sched, &mut mem, &cfg);
+    println!("no prefetching: {} cycles, MPKI {:.1}\n", base.makespan, base.mpki());
+
+    println!(
+        "{:>8} {:>9} {:>9} {:>12} {:>12}",
+        "credits", "MPKI", "speedup", "efficiency", "stalls"
+    );
+    for credits in [1u32, 2, 4, 8, 16, 32, 64, 128, 256] {
+        let mut op = Bfs::new(graph.clone(), 0);
+        let mut mem = MemoryHierarchy::new(&cfg.sim);
+        let mut mc = MinnowConfig::paper(0);
+        mc.prefetch_credits = Some(credits);
+        let mut sched = MinnowScheduler::new(
+            graph.clone(),
+            AddressMap::standard(),
+            op.prefetch_kind(),
+            threads,
+            mc,
+        );
+        let r = run(&mut op, &mut sched, &mut mem, &cfg);
+        op.check().expect("BFS must stay exact under prefetching");
+        let stats = sched.minnow_stats();
+        println!(
+            "{:>8} {:>9.1} {:>8.2}x {:>11.1}% {:>12}",
+            credits,
+            r.mpki(),
+            base.makespan as f64 / r.makespan as f64,
+            r.prefetch_efficiency() * 100.0,
+            stats.credit_stalls
+        );
+    }
+    println!("\n(expect a sweet spot around 32-64 credits, as in the paper)");
+}

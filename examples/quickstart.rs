@@ -1,0 +1,84 @@
+//! Quickstart: run one workload on the simulated CMP, with and without
+//! Minnow, and print what the engines bought you.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use minnow::engine::offload::{MinnowConfig, MinnowScheduler};
+use minnow::graph::gen::uniform::{self, UniformConfig};
+use minnow::graph::AddressMap;
+use minnow::runtime::sim_exec::{run, ExecConfig};
+use minnow::runtime::{Operator, SoftwareScheduler};
+use minnow::sim::MemoryHierarchy;
+
+use minnow::algos::bfs::Bfs;
+
+fn main() {
+    let threads = 8;
+    // A BFS over a uniform random graph (the paper's `r4` input analogue).
+    let graph = Arc::new(uniform::generate(&UniformConfig::new(20_000, 4), 42));
+    println!(
+        "input: {} nodes, {} edges  |  {threads} simulated cores\n",
+        graph.nodes(),
+        graph.edges()
+    );
+    let cfg = ExecConfig::new(threads);
+
+    // 1. The optimized software baseline (Galois-like OBIM worklist).
+    let mut op = Bfs::new(graph.clone(), 0);
+    let policy = op.default_policy();
+    let mut mem = MemoryHierarchy::new(&cfg.sim);
+    let mut sched = SoftwareScheduler::new(policy.build(), threads);
+    let software = run(&mut op, &mut sched, &mut mem, &cfg);
+    op.check().expect("software run must be correct");
+
+    // 2. Minnow: worklist offload only.
+    let mut op = Bfs::new(graph.clone(), 0);
+    let mut mem = MemoryHierarchy::new(&cfg.sim);
+    let mut sched = MinnowScheduler::new(
+        graph.clone(),
+        AddressMap::standard(),
+        op.prefetch_kind(),
+        threads,
+        MinnowConfig::no_prefetch(0),
+    );
+    let offload = run(&mut op, &mut sched, &mut mem, &cfg);
+    op.check().expect("offload run must be correct");
+
+    // 3. Minnow + worklist-directed prefetching (32 credits).
+    let mut op = Bfs::new(graph.clone(), 0);
+    let mut mem = MemoryHierarchy::new(&cfg.sim);
+    let mut sched = MinnowScheduler::new(
+        graph,
+        AddressMap::standard(),
+        op.prefetch_kind(),
+        threads,
+        MinnowConfig::paper(0),
+    );
+    let wdp = run(&mut op, &mut sched, &mut mem, &cfg);
+    op.check().expect("WDP run must be correct");
+
+    println!("{:<26} {:>12} {:>9} {:>9}", "configuration", "cycles", "MPKI", "speedup");
+    for (name, r) in [
+        ("software worklist", &software),
+        ("minnow offload", &offload),
+        ("minnow + prefetching", &wdp),
+    ] {
+        println!(
+            "{:<26} {:>12} {:>9.1} {:>8.2}x",
+            name,
+            r.makespan,
+            r.mpki(),
+            software.makespan as f64 / r.makespan as f64
+        );
+    }
+    println!(
+        "\nprefetch efficiency: {:.1}%  (fills: {}, used before eviction: {})",
+        wdp.prefetch_efficiency() * 100.0,
+        wdp.prefetch_fills,
+        wdp.prefetch_used
+    );
+}

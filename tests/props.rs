@@ -1,0 +1,168 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use minnow::engine::CreditPool;
+use minnow::graph::Csr;
+use minnow::runtime::split::split_task;
+use minnow::runtime::worklist::PolicyKind;
+use minnow::runtime::Task;
+use minnow::sim::cache::Cache;
+use minnow::sim::config::CacheParams;
+use minnow::sim::contend::GapTracker;
+
+fn any_task() -> impl Strategy<Value = Task> {
+    (0u64..1000, 0u32..500).prop_map(|(p, n)| Task::new(p, n))
+}
+
+fn any_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Fifo),
+        Just(PolicyKind::Lifo),
+        (1usize..32).prop_map(PolicyKind::Chunked),
+        (0u32..8).prop_map(PolicyKind::Obim),
+        Just(PolicyKind::Strict),
+    ]
+}
+
+proptest! {
+    /// Every policy returns exactly the multiset of pushed tasks.
+    #[test]
+    fn worklists_conserve_tasks(tasks in prop::collection::vec(any_task(), 0..200),
+                                kind in any_policy()) {
+        let mut wl = kind.build();
+        for &t in &tasks {
+            wl.push(t);
+        }
+        prop_assert_eq!(wl.len(), tasks.len());
+        let mut out = Vec::new();
+        while let Some(t) = wl.pop() {
+            out.push(t);
+        }
+        prop_assert!(wl.is_empty());
+        let mut a: Vec<_> = tasks.iter().map(|t| (t.priority, t.node)).collect();
+        let mut b: Vec<_> = out.iter().map(|t| (t.priority, t.node)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// OBIM pops never go back to a strictly smaller bucket unless a more
+    /// urgent task was pushed in between (drain-only check).
+    #[test]
+    fn obim_buckets_drain_in_order(tasks in prop::collection::vec(any_task(), 1..200),
+                                   lg in 0u32..6) {
+        let mut wl = PolicyKind::Obim(lg).build();
+        for &t in &tasks {
+            wl.push(t);
+        }
+        let mut last_bucket = 0u64;
+        while let Some(t) = wl.pop() {
+            let b = t.bucket(lg);
+            prop_assert!(b >= last_bucket, "bucket went backwards: {b} < {last_bucket}");
+            last_bucket = b;
+        }
+    }
+
+    /// Strict priority pops a non-decreasing priority sequence.
+    #[test]
+    fn strict_priority_sorts(tasks in prop::collection::vec(any_task(), 1..200)) {
+        let mut wl = PolicyKind::Strict.build();
+        for &t in &tasks {
+            wl.push(t);
+        }
+        let mut last = 0u64;
+        while let Some(t) = wl.pop() {
+            prop_assert!(t.priority >= last);
+            last = t.priority;
+        }
+    }
+
+    /// Task splitting covers each edge slot exactly once and preserves
+    /// priority and node.
+    #[test]
+    fn split_partitions_exactly(degree in 0usize..40_000,
+                                threshold in 1u32..5_000,
+                                priority in 0u64..100) {
+        let parts = split_task(Task::new(priority, 3), degree, threshold);
+        let mut covered = 0usize;
+        let mut next = 0usize;
+        for p in &parts {
+            prop_assert_eq!(p.priority, priority);
+            prop_assert_eq!(p.node, 3);
+            let r = p.resolve_range(degree);
+            prop_assert_eq!(r.start, next, "ranges must be contiguous");
+            prop_assert!(r.len() <= threshold as usize || parts.len() == 1);
+            covered += r.len();
+            next = r.end;
+        }
+        prop_assert_eq!(covered, degree.max(0));
+    }
+
+    /// Credit pools conserve credits under arbitrary consume/release
+    /// interleavings.
+    #[test]
+    fn credit_pool_conserves(total in 1u32..64, ops in prop::collection::vec(any::<bool>(), 0..500)) {
+        let mut pool = CreditPool::new(total);
+        let mut outstanding = 0u32;
+        for consume in ops {
+            if consume {
+                if pool.try_consume() {
+                    outstanding += 1;
+                }
+            } else if outstanding > 0 {
+                pool.release(1);
+                outstanding -= 1;
+            }
+            prop_assert!(pool.check_conservation());
+            prop_assert!(pool.available() <= total);
+        }
+    }
+
+    /// The cache never exceeds its capacity, and a fill makes the line
+    /// immediately visible.
+    #[test]
+    fn cache_capacity_and_presence(addrs in prop::collection::vec(0u64..(1 << 16), 1..300)) {
+        let params = CacheParams { size_bytes: 2048, ways: 4, line_bytes: 64, latency: 1 };
+        let mut cache = Cache::new(params);
+        for &a in &addrs {
+            cache.fill(a, false, false);
+            prop_assert!(cache.probe(a), "just-filled line must be present");
+            prop_assert!(cache.resident_lines() <= params.lines());
+        }
+    }
+
+    /// Gap-tracker reservations never overlap, regardless of request order.
+    #[test]
+    fn gap_tracker_reservations_disjoint(reqs in prop::collection::vec((0u64..10_000, 1u64..50), 1..100)) {
+        let mut g = GapTracker::new();
+        let mut intervals: Vec<(u64, u64)> = Vec::new();
+        for (now, dur) in reqs {
+            let begin = g.reserve(now, dur);
+            prop_assert!(begin >= now);
+            for &(s, e) in &intervals {
+                prop_assert!(begin + dur <= s || begin >= e,
+                    "overlap: [{begin},{}) vs [{s},{e})", begin + dur);
+            }
+            intervals.push((begin, begin + dur));
+        }
+    }
+
+    /// CSR construction round-trips an arbitrary edge list.
+    #[test]
+    fn csr_roundtrip(edges in prop::collection::vec((0u32..50, 0u32..50), 0..300)) {
+        let g = Csr::from_edges(50, &edges, None);
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(g.edges(), edges.len());
+        let mut want = edges.clone();
+        want.sort_unstable();
+        let mut got = Vec::new();
+        for v in 0..50u32 {
+            for &u in g.neighbors(v) {
+                got.push((v, u));
+            }
+        }
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,96 @@
+//! Directional sanity of the paper's headline claims on scaled inputs:
+//! offload beats software at high thread counts, prefetching beats plain
+//! offload, and the combination eliminates most L2 misses.
+
+use minnow::algos::WorkloadKind;
+use minnow::engine::offload::{MinnowConfig, MinnowScheduler};
+use minnow::runtime::sim_exec::{run, run_software, ExecConfig, RunReport};
+use minnow::sim::MemoryHierarchy;
+
+const THREADS: usize = 8;
+
+fn software(kind: WorkloadKind, scale: f64) -> RunReport {
+    let mut op = kind.build(scale, 5);
+    let policy = op.default_policy();
+    run_software(op.as_mut(), policy, &ExecConfig::new(THREADS))
+}
+
+fn minnow(kind: WorkloadKind, scale: f64, mc: MinnowConfig) -> RunReport {
+    let mut op = kind.build(scale, 5);
+    let cfg = ExecConfig::new(THREADS);
+    let mut mem = MemoryHierarchy::new(&cfg.sim);
+    let graph = op.graph().clone();
+    let mut sched =
+        MinnowScheduler::new(graph, op.address_map(), op.prefetch_kind(), THREADS, mc);
+    let r = run(op.as_mut(), &mut sched, &mut mem, &cfg);
+    op.check().expect("must stay correct");
+    r
+}
+
+#[test]
+fn offload_beats_software_on_worklist_bound_cc() {
+    let soft = software(WorkloadKind::Cc, 0.2);
+    let off = minnow(WorkloadKind::Cc, 0.2, MinnowConfig::no_prefetch(4));
+    assert!(
+        off.makespan < soft.makespan,
+        "CC offload {} must beat software {}",
+        off.makespan,
+        soft.makespan
+    );
+}
+
+#[test]
+fn wdp_beats_plain_offload_on_memory_bound_bfs() {
+    let plain = minnow(WorkloadKind::Bfs, 0.4, MinnowConfig::no_prefetch(0));
+    let wdp = minnow(WorkloadKind::Bfs, 0.4, MinnowConfig::paper(0));
+    assert!(
+        wdp.makespan < plain.makespan,
+        "WDP {} must beat plain {}",
+        wdp.makespan,
+        plain.makespan
+    );
+    assert!(
+        wdp.mpki() < plain.mpki() * 0.5,
+        "WDP must halve MPKI: {:.1} vs {:.1}",
+        wdp.mpki(),
+        plain.mpki()
+    );
+    assert!(wdp.prefetch_efficiency() > 0.85);
+}
+
+#[test]
+fn full_minnow_beats_software_across_the_suite() {
+    // Aggregate (geo-mean) speedup over a fast subset of the suite.
+    let kinds = [WorkloadKind::Bfs, WorkloadKind::Cc, WorkloadKind::Bc];
+    let mut log_sum = 0.0;
+    for kind in kinds {
+        let soft = software(kind, 0.15);
+        let full = minnow(kind, 0.15, MinnowConfig::paper(kind.lg_bucket()));
+        let speedup = soft.makespan as f64 / full.makespan as f64;
+        log_sum += speedup.ln();
+        assert!(
+            speedup > 0.9,
+            "{kind}: Minnow should not lose badly ({speedup:.2}x)"
+        );
+    }
+    let geomean = (log_sum / kinds.len() as f64).exp();
+    assert!(geomean > 1.2, "suite geomean speedup {geomean:.2}x too small");
+}
+
+#[test]
+fn serial_baseline_beats_contended_many_thread_software_on_cc() {
+    // Fig. 15: CC's software worklist collapses at high thread counts.
+    let mut op = WorkloadKind::Cc.build(0.12, 5);
+    let policy = op.default_policy();
+    let serial = run_software(op.as_mut(), policy, &ExecConfig::serial());
+    op.check().unwrap();
+
+    let mut op = WorkloadKind::Cc.build(0.12, 5);
+    let policy = op.default_policy();
+    let wide = run_software(op.as_mut(), policy, &ExecConfig::new(32));
+    let scaling = serial.makespan as f64 / wide.makespan as f64;
+    assert!(
+        scaling < 8.0,
+        "CC at 32 threads must scale poorly, got {scaling:.1}x"
+    );
+}
