@@ -1,11 +1,32 @@
 //! The benchmark suite: workloads bound to their Table 2 inputs.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use minnow_graph::{inputs, Csr, NodeId};
 use minnow_runtime::Operator;
 
 use crate::{bc::Bc, bfs::Bfs, cc::Cc, pr::PageRank, sssp::Sssp, tc::Tc};
+
+/// Key identifying one generated input: workload, scale bits, seed.
+type InputKey = (WorkloadKind, u64, u64);
+
+/// One cache slot: a per-key cell so concurrent requests for *different*
+/// graphs never serialize on each other.
+type InputCell = Arc<OnceLock<Arc<Csr>>>;
+
+/// Process-wide cache of generated inputs.
+///
+/// Sweeps run many (workload × config) points over the same handful of
+/// graphs; generating each graph once and sharing the `Arc<Csr>` across
+/// OS threads keeps parallel sweep workers from redundantly regenerating
+/// (and momentarily duplicating) multi-hundred-MB inputs. The per-key
+/// `OnceLock` means concurrent requests for the *same* graph block only
+/// each other, never requests for different graphs.
+fn input_cache() -> &'static Mutex<HashMap<InputKey, InputCell>> {
+    static CACHE: OnceLock<Mutex<HashMap<InputKey, InputCell>>> = OnceLock::new();
+    CACHE.get_or_init(Default::default)
+}
 
 /// The seven paper workloads (Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,8 +97,22 @@ impl WorkloadKind {
         }
     }
 
-    /// Generates this workload's input analogue at the given scale.
+    /// Returns this workload's input analogue at the given scale, generated
+    /// at most once per process and shared thereafter (see [`input_cache`]).
+    ///
+    /// Inputs are immutable (`Arc<Csr>`): operators never write the graph,
+    /// so one copy safely serves any number of concurrent simulation points.
     pub fn input(self, scale: f64, seed: u64) -> Arc<Csr> {
+        let key = (self, scale.to_bits(), seed);
+        let cell = {
+            let mut map = input_cache().lock().unwrap_or_else(|e| e.into_inner());
+            map.entry(key).or_default().clone()
+        };
+        cell.get_or_init(|| self.generate_input(scale, seed)).clone()
+    }
+
+    /// Generates a fresh, uncached input analogue at the given scale.
+    pub fn generate_input(self, scale: f64, seed: u64) -> Arc<Csr> {
         Arc::new(match self {
             WorkloadKind::Sssp => inputs::usa_road(scale, seed),
             WorkloadKind::Bfs => inputs::r4(scale, seed + 1),
@@ -162,6 +197,30 @@ mod tests {
             op.check().unwrap_or_else(|e| panic!("{kind} wrong: {e}"));
             assert!(report.tasks > 0, "{kind} executed nothing");
         }
+    }
+
+    #[test]
+    fn inputs_are_cached_and_shared_across_threads() {
+        let a = WorkloadKind::Bfs.input(0.02, 999);
+        let b = WorkloadKind::Bfs.input(0.02, 999);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one graph");
+
+        let fresh = WorkloadKind::Bfs.generate_input(0.02, 999);
+        assert!(!Arc::ptr_eq(&a, &fresh), "generate_input must not cache");
+        assert_eq!(*a, *fresh, "cached and fresh generation must agree");
+
+        let other = WorkloadKind::Bfs.input(0.02, 1000);
+        assert!(!Arc::ptr_eq(&a, &other), "different seeds are distinct keys");
+
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| WorkloadKind::Cc.input(0.02, 7)))
+                .collect();
+            let graphs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for g in &graphs[1..] {
+                assert!(Arc::ptr_eq(&graphs[0], g), "threads must share one copy");
+            }
+        });
     }
 
     #[test]

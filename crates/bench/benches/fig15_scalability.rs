@@ -4,17 +4,21 @@
 //!
 //! Paper shape: the software baseline scales to ~32 threads then stalls;
 //! CC collapses past 16 threads; Minnow keeps every workload scaling.
+//!
+//! Points are enumerated and executed through the parallel sweep engine;
+//! set `MINNOW_SWEEP_THREADS` to fan them out across cores.
 
 use minnow_algos::WorkloadKind;
-use minnow_bench::runner::{serial_baseline, BenchRun};
+use minnow_bench::sweep::{run_sweep, Sweep, SweepConfig, SweepParams};
 use minnow_bench::table::Table;
-use minnow_bench::{max_threads, scale, seed};
 
 fn main() {
-    let max_threads = max_threads();
+    let params = SweepParams::from_env();
     let mut threads = vec![1usize, 2, 4, 8, 16, 32, 64];
-    threads.retain(|&t| t <= max_threads);
+    threads.retain(|&t| t <= params.max_threads);
     println!("Fig. 15: speedup vs optimized serial baseline (offload only, no prefetching)\n");
+
+    let result = run_sweep(&Sweep::fig15(&params), &SweepConfig::from_env());
 
     let mut header = vec!["Workload".to_string(), "Config".to_string()];
     header.extend(threads.iter().map(|t| format!("{t}T")));
@@ -22,17 +26,11 @@ fn main() {
     let mut t = Table::new("fig15_scalability", &header_refs);
 
     for kind in WorkloadKind::ALL {
-        let serial = serial_baseline(kind, scale(), seed()) as f64;
-        let input = BenchRun::software_default(kind, 1).input();
-        for (label, minnow) in [("galois", false), ("minnow", true)] {
+        let serial = result.report(&format!("fig15/{kind}/serial/t1")).makespan as f64;
+        for label in ["galois", "minnow"] {
             let mut row = vec![kind.name().to_string(), label.to_string()];
             for &th in &threads {
-                let run = if minnow {
-                    BenchRun::minnow(kind, th)
-                } else {
-                    BenchRun::software_default(kind, th)
-                };
-                let r = run.execute_on(input.clone());
+                let r = result.report(&format!("fig15/{kind}/{label}/t{th}"));
                 row.push(if r.timed_out {
                     "timeout".into()
                 } else {

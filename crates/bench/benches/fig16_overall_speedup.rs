@@ -4,25 +4,30 @@
 //!
 //! Paper shape: 2.96x average for Minnow without prefetching, 6.01x with;
 //! TC shows the least benefit.
+//!
+//! Points are enumerated and executed through the parallel sweep engine;
+//! set `MINNOW_SWEEP_THREADS` to fan them out across cores.
 
 use minnow_algos::WorkloadKind;
-use minnow_bench::headline_threads;
-use minnow_bench::runner::BenchRun;
+use minnow_bench::sweep::{run_sweep, Sweep, SweepConfig, SweepParams};
 use minnow_bench::table::{ratio, Table};
 
 fn main() {
-    let threads = headline_threads();
+    let params = SweepParams::from_env();
+    let threads = params.headline_threads;
     println!("Fig. 16: Minnow speedup over the software baseline at {threads} threads\n");
+
+    let result = run_sweep(&Sweep::fig16(&params), &SweepConfig::from_env());
+
     let mut t = Table::new(
         "fig16_overall_speedup",
         &["Workload", "Minnow", "Minnow+WDP", "MPKI sw", "MPKI wdp"],
     );
     let mut logs = [0.0f64; 2];
     for kind in WorkloadKind::ALL {
-        let input = BenchRun::software_default(kind, threads).input();
-        let soft = BenchRun::software_default(kind, threads).execute_on(input.clone());
-        let plain = BenchRun::minnow(kind, threads).execute_on(input.clone());
-        let wdp = BenchRun::minnow_wdp(kind, threads).execute_on(input);
+        let soft = result.report(&format!("fig16/{kind}/software"));
+        let plain = result.report(&format!("fig16/{kind}/minnow"));
+        let wdp = result.report(&format!("fig16/{kind}/wdp"));
         let s1 = soft.makespan as f64 / plain.makespan as f64;
         let s2 = soft.makespan as f64 / wdp.makespan as f64;
         logs[0] += s1.ln();

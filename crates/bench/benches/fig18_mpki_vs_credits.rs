@@ -5,35 +5,34 @@
 //! bottoms out between 32 and 128 credits (below 1 MPKI for most
 //! workloads), then *rises* again where aggressive prefetching thrashes
 //! the L2 (G500 especially).
+//!
+//! Shares the `credits` sweep with Figs. 19 and 20; set
+//! `MINNOW_SWEEP_THREADS` to fan the points out across cores.
 
 use minnow_algos::WorkloadKind;
-use minnow_bench::headline_threads;
-use minnow_bench::runner::{BenchRun, SchedSpec};
+use minnow_bench::sweep::{run_sweep, Sweep, SweepConfig, SweepParams};
 use minnow_bench::table::Table;
 
 const CREDITS: [u32; 6] = [1, 8, 16, 32, 64, 256];
 
 fn main() {
-    let threads = headline_threads().min(16); // credit sweeps are per-core effects
+    let params = SweepParams::from_env();
+    let threads = params.headline_threads.min(16); // credit sweeps are per-core effects
     println!("Fig. 18: L2 MPKI vs prefetch credits at {threads} threads\n");
+
+    let cfg = SweepConfig::from_env();
+    let result = run_sweep(&Sweep::credits(&params), &cfg);
+
     let mut header = vec!["Workload".to_string(), "no-pf".to_string()];
     header.extend(CREDITS.iter().map(|c| format!("{c}")));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut t = Table::new("fig18_mpki_vs_credits", &header_refs);
 
     for kind in WorkloadKind::ALL {
-        let input = BenchRun::minnow(kind, threads).input();
-        let base = BenchRun::minnow(kind, threads).execute_on(input.clone());
+        let base = result.report(&format!("credits/{kind}/nopf"));
         let mut row = vec![kind.name().to_string(), format!("{:.1}", base.mpki())];
         for c in CREDITS {
-            let r = BenchRun::new(
-                kind,
-                threads,
-                SchedSpec::Minnow {
-                    wdp_credits: Some(c),
-                },
-            )
-            .execute_on(input.clone());
+            let r = result.report(&format!("credits/{kind}/c{c}"));
             row.push(format!("{:.1}", r.mpki()));
         }
         t.row(row);

@@ -3,35 +3,33 @@
 //!
 //! Paper shape: every workload gains (1.4x-2.5x); diminishing returns
 //! around 32-64 credits; G500 degrades past its optimum (hub overflow).
+//!
+//! Shares the `credits` sweep with Figs. 18 and 20; set
+//! `MINNOW_SWEEP_THREADS` to fan the points out across cores.
 
 use minnow_algos::WorkloadKind;
-use minnow_bench::headline_threads;
-use minnow_bench::runner::{BenchRun, SchedSpec};
+use minnow_bench::sweep::{run_sweep, Sweep, SweepConfig, SweepParams};
 use minnow_bench::table::Table;
 
 const CREDITS: [u32; 6] = [1, 8, 16, 32, 64, 256];
 
 fn main() {
-    let threads = headline_threads().min(16);
+    let params = SweepParams::from_env();
+    let threads = params.headline_threads.min(16);
     println!("Fig. 19: prefetching speedup vs credits at {threads} threads\n");
+
+    let result = run_sweep(&Sweep::credits(&params), &SweepConfig::from_env());
+
     let mut header = vec!["Workload".to_string()];
     header.extend(CREDITS.iter().map(|c| format!("{c}")));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut t = Table::new("fig19_speedup_vs_credits", &header_refs);
 
     for kind in WorkloadKind::ALL {
-        let input = BenchRun::minnow(kind, threads).input();
-        let base = BenchRun::minnow(kind, threads).execute_on(input.clone()).makespan as f64;
+        let base = result.report(&format!("credits/{kind}/nopf")).makespan as f64;
         let mut row = vec![kind.name().to_string()];
         for c in CREDITS {
-            let r = BenchRun::new(
-                kind,
-                threads,
-                SchedSpec::Minnow {
-                    wdp_credits: Some(c),
-                },
-            )
-            .execute_on(input.clone());
+            let r = result.report(&format!("credits/{kind}/c{c}"));
             row.push(format!("{:.2}", base / r.makespan as f64));
         }
         t.row(row);

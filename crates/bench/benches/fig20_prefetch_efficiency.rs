@@ -3,17 +3,23 @@
 //!
 //! Paper shape: near-100% at low credit counts, degrading for G500/CC/PR/BC
 //! as credits climb; 32 credits keeps >99% everywhere; IMP is much lower.
+//!
+//! Shares the `credits` sweep with Figs. 18 and 19; set
+//! `MINNOW_SWEEP_THREADS` to fan the points out across cores.
 
 use minnow_algos::WorkloadKind;
-use minnow_bench::headline_threads;
-use minnow_bench::runner::{BenchRun, HwKind, SchedSpec};
+use minnow_bench::sweep::{run_sweep, Sweep, SweepConfig, SweepParams};
 use minnow_bench::table::{pct, Table};
 
 const CREDITS: [u32; 5] = [8, 32, 64, 128, 256];
 
 fn main() {
-    let threads = headline_threads().min(16);
+    let params = SweepParams::from_env();
+    let threads = params.headline_threads.min(16);
     println!("Fig. 20: prefetch efficiency vs credits at {threads} threads (+ IMP)\n");
+
+    let result = run_sweep(&Sweep::credits(&params), &SweepConfig::from_env());
+
     let mut header = vec!["Workload".to_string()];
     header.extend(CREDITS.iter().map(|c| format!("{c}")));
     header.push("IMP".to_string());
@@ -21,21 +27,12 @@ fn main() {
     let mut t = Table::new("fig20_prefetch_efficiency", &header_refs);
 
     for kind in WorkloadKind::ALL {
-        let input = BenchRun::minnow(kind, threads).input();
         let mut row = vec![kind.name().to_string()];
         for c in CREDITS {
-            let r = BenchRun::new(
-                kind,
-                threads,
-                SchedSpec::Minnow {
-                    wdp_credits: Some(c),
-                },
-            )
-            .execute_on(input.clone());
+            let r = result.report(&format!("credits/{kind}/c{c}"));
             row.push(pct(r.prefetch_efficiency()));
         }
-        let imp = BenchRun::new(kind, threads, SchedSpec::MinnowWithHw(HwKind::Imp))
-            .execute_on(input);
+        let imp = result.report(&format!("credits/{kind}/imp"));
         row.push(if imp.prefetch_fills == 0 {
             "n/a".into()
         } else {

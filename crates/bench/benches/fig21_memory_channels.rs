@@ -5,38 +5,34 @@
 //! only very few channels hurt; with prefetching they consume the
 //! available bandwidth and become bandwidth-sensitive. TC (fits in LLC)
 //! is insensitive either way.
+//!
+//! Points are enumerated and executed through the parallel sweep engine;
+//! set `MINNOW_SWEEP_THREADS` to fan them out across cores.
 
 use minnow_algos::WorkloadKind;
-use minnow_bench::max_threads;
-use minnow_bench::runner::BenchRun;
+use minnow_bench::sweep::{run_sweep, Sweep, SweepConfig, SweepParams, CHANNEL_AXIS};
 use minnow_bench::table::Table;
 
-const CHANNELS: [usize; 4] = [1, 2, 4, 12];
-
 fn main() {
-    let threads = max_threads().min(32);
+    let params = SweepParams::from_env();
+    let threads = params.max_threads.min(32);
     println!("Fig. 21: speedup vs DRAM channels (normalized to 12 channels) at {threads} threads\n");
+
+    let result = run_sweep(&Sweep::channels(&params), &SweepConfig::from_env());
+
     let mut header = vec!["Workload".to_string(), "Config".to_string()];
-    header.extend(CHANNELS.iter().map(|c| format!("{c}ch")));
+    header.extend(CHANNEL_AXIS.iter().map(|c| format!("{c}ch")));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut t = Table::new("fig21_memory_channels", &header_refs);
 
     for kind in WorkloadKind::ALL {
-        let input = BenchRun::minnow(kind, threads).input();
-        for (label, wdp) in [("no-pf", false), ("wdp", true)] {
-            let runner = |ch: usize| {
-                let mut run = if wdp {
-                    BenchRun::minnow_wdp(kind, threads)
-                } else {
-                    BenchRun::minnow(kind, threads)
-                };
-                run.channels = Some(ch);
-                run.execute_on(input.clone()).makespan as f64
-            };
-            let base = runner(12);
+        for label in ["no-pf", "wdp"] {
+            let cfg = if label == "wdp" { "wdp" } else { "nopf" };
+            let base = result.report(&format!("channels/{kind}/{cfg}/ch12")).makespan as f64;
             let mut row = vec![kind.name().to_string(), label.to_string()];
-            for ch in CHANNELS {
-                row.push(format!("{:.2}", base / runner(ch)));
+            for ch in CHANNEL_AXIS {
+                let r = result.report(&format!("channels/{kind}/{cfg}/ch{ch}"));
+                row.push(format!("{:.2}", base / r.makespan as f64));
             }
             t.row(row);
         }

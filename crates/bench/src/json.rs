@@ -1,0 +1,153 @@
+//! Minimal deterministic JSON serialization.
+//!
+//! The build environment is offline (no serde), and the sweep runner's
+//! core guarantee — byte-identical artifacts regardless of worker-thread
+//! count — only needs a writer with *stable field order and number
+//! formatting*, which this hand-rolled builder provides. Floats are
+//! emitted with fixed six-decimal precision so output never depends on
+//! shortest-round-trip formatting subtleties.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for inclusion in a JSON document (without quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON value: fixed precision, `null` when not
+/// finite.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A JSON object under construction; fields appear in insertion order.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    fields: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.fields.is_empty() {
+            self.fields.push(',');
+        }
+        let _ = write!(self.fields, "\"{}\":", escape(key));
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        let _ = write!(self.fields, "\"{}\"", escape(value));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        let _ = write!(self.fields, "{value}");
+        self
+    }
+
+    /// Adds a float field (fixed six-decimal formatting).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        self.fields.push_str(&number(value));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.fields.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds an optional unsigned integer field (`null` when absent).
+    pub fn opt_u64(mut self, key: &str, value: Option<u64>) -> Self {
+        self.key(key);
+        match value {
+            Some(v) => {
+                let _ = write!(self.fields, "{v}");
+            }
+            None => self.fields.push_str("null"),
+        }
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (nested object or array).
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.fields.push_str(value);
+        self
+    }
+
+    /// Finishes the object, returning its JSON text.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.fields)
+    }
+}
+
+/// Renders pre-serialized values as a JSON array.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let body: Vec<String> = items.into_iter().collect();
+    format!("[{}]", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_keep_field_order_and_escape() {
+        let inner = JsonObject::new().u64("x", 1).finish();
+        let s = JsonObject::new()
+            .str("name", "a \"quoted\"\nline")
+            .u64("count", 42)
+            .f64("ratio", 0.5)
+            .bool("ok", true)
+            .opt_u64("missing", None)
+            .raw("nested", &inner)
+            .finish();
+        assert_eq!(
+            s,
+            "{\"name\":\"a \\\"quoted\\\"\\nline\",\"count\":42,\"ratio\":0.500000,\
+             \"ok\":true,\"missing\":null,\"nested\":{\"x\":1}}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(1.25), "1.250000");
+    }
+
+    #[test]
+    fn arrays_join_values() {
+        assert_eq!(array(["1".to_string(), "2".to_string()]), "[1,2]");
+        assert_eq!(array(std::iter::empty::<String>()), "[]");
+    }
+}

@@ -12,11 +12,15 @@
 //! * `MINNOW_BENCH_THREADS` — headline thread count (default 16; see
 //!   [`headline_threads`]),
 //! * `MINNOW_BENCH_MAX_THREADS` — scalability-sweep maximum (default 64),
-//! * `MINNOW_BENCH_SEED` — generator seed (default 42).
+//! * `MINNOW_BENCH_SEED` — generator seed (default 42),
+//! * `MINNOW_SWEEP_THREADS` — sweep-pool width (default: available
+//!   parallelism; see [`sweep_threads`]).
 
 #![deny(missing_docs)]
 
+pub mod json;
 pub mod runner;
+pub mod sweep;
 pub mod table;
 
 /// Input scale factor for all experiments.
@@ -53,4 +57,19 @@ pub fn seed() -> u64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(42)
+}
+
+/// Sweep-pool width: how many simulation points run concurrently
+/// (`MINNOW_SWEEP_THREADS`, defaulting to the machine's available
+/// parallelism). Orthogonal to each point's simulated core count.
+pub fn sweep_threads() -> usize {
+    std::env::var("MINNOW_SWEEP_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
 }

@@ -31,6 +31,24 @@ pub enum SchedSpec {
     Bsp(Option<u32>),
 }
 
+impl SchedSpec {
+    /// Stable, filesystem-safe configuration label for artifacts and
+    /// sweep records.
+    pub fn label(&self) -> String {
+        match self {
+            SchedSpec::Software(policy) => format!("software-{}", policy.label()),
+            SchedSpec::Minnow { wdp_credits: None } => "minnow".into(),
+            SchedSpec::Minnow {
+                wdp_credits: Some(c),
+            } => format!("minnow-wdp{c}"),
+            SchedSpec::MinnowWithHw(HwKind::Stride) => "minnow-hw-stride".into(),
+            SchedSpec::MinnowWithHw(HwKind::Imp) => "minnow-hw-imp".into(),
+            SchedSpec::Bsp(None) => "bsp".into(),
+            SchedSpec::Bsp(Some(lg)) => format!("bsp-b{lg}"),
+        }
+    }
+}
+
 /// Hardware prefetcher selector for [`SchedSpec::MinnowWithHw`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HwKind {

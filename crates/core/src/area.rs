@@ -97,7 +97,7 @@ mod tests {
         let bytes = engine_sram_bytes(&EngineParams::paper(), paper_l2_lines());
         // 1KB local queue + 1KB threadlet queue + 0.5KB load buffer
         // + 2KB imem + 2KB dmem + 512B prefetch bits = ~7KB.
-        assert!(bytes >= 6 * 1024 && bytes <= 9 * 1024, "bytes = {bytes}");
+        assert!((6 * 1024..=9 * 1024).contains(&bytes), "bytes = {bytes}");
     }
 
     #[test]

@@ -35,7 +35,7 @@ impl MemoryImage for GraphImage<'_> {
         if addr >= EDGE_BASE {
             let offset = addr - EDGE_BASE;
             let idx = (offset / 16) as usize;
-            if offset % 16 == 0 && idx < self.graph.edges() {
+            if offset.is_multiple_of(16) && idx < self.graph.edges() {
                 return Some(self.graph.edge_dst(idx) as u64);
             }
         }

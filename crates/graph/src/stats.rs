@@ -96,7 +96,7 @@ pub fn degree_histogram(g: &Csr) -> Vec<usize> {
         let bucket = if d <= 1 {
             0
         } else {
-            (usize::BITS - (d as usize).leading_zeros() - 1) as usize
+            (usize::BITS - d.leading_zeros() - 1) as usize
         };
         if bucket >= hist.len() {
             hist.resize(bucket + 1, 0);

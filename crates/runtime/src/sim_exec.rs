@@ -424,7 +424,7 @@ mod tests {
         }
         fn check(&self) -> Result<(), String> {
             // On a connected graph every node must be reached.
-            if self.dist.iter().any(|&d| d == u64::MAX) {
+            if self.dist.contains(&u64::MAX) {
                 return Err("unreached nodes".into());
             }
             Ok(())

@@ -165,22 +165,20 @@ impl Cache {
         self.tick += 1;
         let tick = self.tick;
         let range = self.set_range(line_addr);
-        for slot in &mut self.slots[range] {
-            if let Some(line) = slot {
-                if line.line_addr == line_addr {
-                    line.last_use = tick;
-                    line.dirty |= write;
-                    let prefetch_consumed = line.prefetch;
-                    if prefetch_consumed {
-                        line.prefetch = false;
-                        self.stats.prefetch_used.inc();
-                    }
-                    self.stats.hits.inc();
-                    return Lookup {
-                        hit: true,
-                        prefetch_consumed,
-                    };
+        for line in self.slots[range].iter_mut().flatten() {
+            if line.line_addr == line_addr {
+                line.last_use = tick;
+                line.dirty |= write;
+                let prefetch_consumed = line.prefetch;
+                if prefetch_consumed {
+                    line.prefetch = false;
+                    self.stats.prefetch_used.inc();
                 }
+                self.stats.hits.inc();
+                return Lookup {
+                    hit: true,
+                    prefetch_consumed,
+                };
             }
         }
         self.stats.misses.inc();
@@ -227,13 +225,11 @@ impl Cache {
         let range = self.set_range(line_addr);
 
         // Already resident: refresh.
-        for slot in &mut self.slots[range.clone()] {
-            if let Some(line) = slot {
-                if line.line_addr == line_addr {
-                    line.last_use = tick;
-                    line.dirty |= write;
-                    return None;
-                }
+        for line in self.slots[range.clone()].iter_mut().flatten() {
+            if line.line_addr == line_addr {
+                line.last_use = tick;
+                line.dirty |= write;
+                return None;
             }
         }
 
@@ -282,13 +278,11 @@ impl Cache {
     pub fn consume_mark(&mut self, addr: u64) -> bool {
         let line_addr = self.line_of(addr);
         let range = self.set_range(line_addr);
-        for slot in &mut self.slots[range] {
-            if let Some(line) = slot {
-                if line.line_addr == line_addr && line.prefetch {
-                    line.prefetch = false;
-                    self.stats.prefetch_used.inc();
-                    return true;
-                }
+        for line in self.slots[range].iter_mut().flatten() {
+            if line.line_addr == line_addr && line.prefetch {
+                line.prefetch = false;
+                self.stats.prefetch_used.inc();
+                return true;
             }
         }
         false

@@ -31,7 +31,7 @@ impl CacheParams {
         assert!(self.line_bytes > 0 && self.ways > 0, "degenerate cache geometry");
         let lines = self.size_bytes / self.line_bytes;
         assert!(
-            lines >= self.ways && lines % self.ways == 0,
+            lines >= self.ways && lines.is_multiple_of(self.ways),
             "cache size {} must be a multiple of ways*line ({}x{})",
             self.size_bytes,
             self.ways,

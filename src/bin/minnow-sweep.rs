@@ -1,0 +1,190 @@
+//! `minnow-sweep` — parallel sweep driver for the evaluation figures.
+//!
+//! Enumerates a named sweep (a figure's full set of simulation points),
+//! fans the points across a work-stealing thread pool, and writes
+//! machine-readable artifacts: one JSON object per point
+//! (`<sweep>.jsonl`) plus a summary (`<sweep>.summary.json`).
+//!
+//! ```sh
+//! minnow-sweep --list
+//! minnow-sweep fig16 --threads 8
+//! minnow-sweep fig15 --filter /SSSP/ --out results/
+//! minnow-sweep smoke --scale 0.05 --stdout
+//! ```
+//!
+//! Output is deterministic: for a fixed sweep, filter, scale, and seed,
+//! the JSON-lines artifact is byte-identical regardless of `--threads`.
+
+use std::process::ExitCode;
+
+use minnow_bench::sweep::{run_sweep, Sweep, SweepConfig, SweepParams};
+
+#[derive(Debug)]
+struct Args {
+    sweep: Option<String>,
+    list: bool,
+    threads: Option<usize>,
+    filter: Option<String>,
+    out: String,
+    scale: Option<f64>,
+    seed: Option<u64>,
+    stdout: bool,
+}
+
+const USAGE: &str = "\
+usage: minnow-sweep <sweep> [options]
+       minnow-sweep --list
+
+sweeps: fig15 | fig16 | credits | channels | smoke
+
+options:
+  --threads N     sweep-pool worker threads (default: MINNOW_SWEEP_THREADS
+                  or the machine's available parallelism)
+  --filter STR    run only points whose id contains STR
+  --out DIR       artifact directory (default target/minnow-sweep)
+  --scale X       input scale factor (default: MINNOW_BENCH_SCALE or 0.3)
+  --seed N        sweep seed; point seeds are derived from it
+                  (default: MINNOW_BENCH_SEED or 42)
+  --stdout        print the JSON-lines records instead of writing files
+  --list          list sweep names and point counts, then exit
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        sweep: None,
+        list: false,
+        threads: None,
+        filter: None,
+        out: "target/minnow-sweep".into(),
+        scale: None,
+        seed: None,
+        stdout: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--list" => args.list = true,
+            "--threads" => {
+                args.threads = Some(value("--threads")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--filter" => args.filter = Some(value("--filter")?),
+            "--out" => args.out = value("--out")?,
+            "--scale" => args.scale = Some(value("--scale")?.parse().map_err(|e| format!("{e}"))?),
+            "--seed" => args.seed = Some(value("--seed")?.parse().map_err(|e| format!("{e}"))?),
+            "--stdout" => args.stdout = true,
+            other if !other.starts_with('-') && args.sweep.is_none() => {
+                args.sweep = Some(other.to_string())
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if let Some(0) = args.threads {
+        return Err("--threads must be at least 1".into());
+    }
+    if !args.list && args.sweep.is_none() {
+        return Err("missing sweep name".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut params = SweepParams::from_env();
+    if let Some(scale) = args.scale {
+        params.scale = scale;
+    }
+    if let Some(seed) = args.seed {
+        params.seed = seed;
+    }
+
+    if args.list {
+        println!("{:<10} {:>7}  axes", "sweep", "points");
+        for name in Sweep::NAMES {
+            let sweep = Sweep::named(name, &params).expect("every listed name enumerates");
+            println!("{:<10} {:>7}  {}", name, sweep.points.len(), sweep_axes(name));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let name = args.sweep.as_deref().expect("checked in parse_args");
+    let Some(sweep) = Sweep::named(name, &params) else {
+        eprintln!("error: unknown sweep `{name}`\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    let mut cfg = SweepConfig::from_env();
+    if let Some(threads) = args.threads {
+        cfg.threads = threads;
+    }
+    cfg.filter = args.filter.clone();
+
+    let selected = sweep.selected(&cfg).len();
+    if selected == 0 {
+        eprintln!(
+            "error: filter `{}` matches none of {}'s {} points",
+            args.filter.as_deref().unwrap_or(""),
+            sweep.name,
+            sweep.points.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "sweep {}: {selected}/{} points, pool of {} thread(s), scale {}, seed {}",
+        sweep.name,
+        sweep.points.len(),
+        cfg.threads.max(1).min(selected),
+        params.scale,
+        params.seed
+    );
+
+    let result = run_sweep(&sweep, &cfg);
+    let timed_out = result.points.iter().filter(|p| p.report.timed_out).count();
+
+    if args.stdout {
+        print!("{}", result.jsonl());
+        eprintln!("{}", result.summary_json());
+    } else {
+        match result.write_artifacts(std::path::Path::new(&args.out)) {
+            Ok((jsonl, summary)) => {
+                eprintln!("wrote {} and {}", jsonl.display(), summary.display());
+            }
+            Err(e) => {
+                eprintln!("error: writing artifacts under {}: {e}", args.out);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!(
+        "done: {} points in {:.1}s{}",
+        result.points.len(),
+        result.wall.as_secs_f64(),
+        if timed_out > 0 {
+            format!(" ({timed_out} timed out)")
+        } else {
+            String::new()
+        }
+    );
+    ExitCode::SUCCESS
+}
+
+fn sweep_axes(name: &str) -> &'static str {
+    match name {
+        "fig15" => "scalability: workload x {serial,galois,minnow} x threads",
+        "fig16" => "overall speedup: workload x {software,minnow,wdp}",
+        "credits" => "figs 18-20: workload x {nopf,c1..c256,imp}",
+        "channels" => "fig 21: workload x {nopf,wdp} x DRAM channels",
+        "smoke" => "tiny end-to-end check: 2 workloads x 3 schedulers",
+        _ => "",
+    }
+}

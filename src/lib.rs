@@ -9,11 +9,14 @@
 //! * [`engine`] — the Minnow engines themselves (worklist offload,
 //!   threadlets, credit-throttled worklist-directed prefetching),
 //! * [`prefetch`] — baseline hardware prefetchers (stride, IMP),
-//! * [`algos`] — the seven paper workloads (SSSP, BFS, G500, CC, PR, TC, BC).
+//! * [`algos`] — the seven paper workloads (SSSP, BFS, G500, CC, PR, TC, BC),
+//! * [`bench`] — the experiment harness (figure benches, the parallel
+//!   sweep engine behind `minnow-sweep`).
 
 #![deny(missing_docs)]
 
 pub use minnow_algos as algos;
+pub use minnow_bench as bench;
 pub use minnow_core as engine;
 pub use minnow_graph as graph;
 pub use minnow_prefetch as prefetch;

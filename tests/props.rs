@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 
+use minnow::bench::sweep::{Sweep, SweepConfig, SweepParams};
 use minnow::engine::CreditPool;
 use minnow::graph::Csr;
 use minnow::runtime::split::split_task;
@@ -13,6 +14,33 @@ use minnow::sim::contend::GapTracker;
 
 fn any_task() -> impl Strategy<Value = Task> {
     (0u64..1000, 0u32..500).prop_map(|(p, n)| Task::new(p, n))
+}
+
+/// Filter strings for the sweep-selection property: meaningful id
+/// fragments plus arbitrary short strings over the id alphabet (the
+/// proptest stub has no native string strategy, so build from indices).
+fn any_filter() -> impl Strategy<Value = String> {
+    const ALPHABET: [char; 12] = ['S', 'B', 'C', 'P', 'T', 'G', '/', 't', 'c', 'm', '1', 'z'];
+    prop_oneof![
+        Just("SSSP".to_string()),
+        Just("/BFS/".to_string()),
+        Just("minnow".to_string()),
+        Just("wdp".to_string()),
+        Just("serial".to_string()),
+        Just(String::new()),
+        Just("no-such-point".to_string()),
+        prop::collection::vec(0usize..ALPHABET.len(), 0..5)
+            .prop_map(|ix| ix.into_iter().map(|i| ALPHABET[i]).collect()),
+    ]
+}
+
+fn any_sweep_params() -> impl Strategy<Value = SweepParams> {
+    (0u64..1 << 48, 1usize..64, 1usize..64).prop_map(|(seed, headline, max)| SweepParams {
+        scale: 0.02,
+        seed,
+        headline_threads: headline,
+        max_threads: max,
+    })
 }
 
 fn any_policy() -> impl Strategy<Value = PolicyKind> {
@@ -96,7 +124,7 @@ proptest! {
             covered += r.len();
             next = r.end;
         }
-        prop_assert_eq!(covered, degree.max(0));
+        prop_assert_eq!(covered, degree);
     }
 
     /// Credit pools conserve credits under arbitrary consume/release
@@ -146,6 +174,79 @@ proptest! {
             }
             intervals.push((begin, begin + dur));
         }
+    }
+
+    /// Sweep enumeration is complete and duplicate-free for every named
+    /// sweep under arbitrary parameters, and per-point seeds depend only
+    /// on the workload (all configurations of one workload must share an
+    /// input graph).
+    #[test]
+    fn sweeps_enumerate_unique_points(params in any_sweep_params()) {
+        for name in Sweep::NAMES {
+            let sweep = Sweep::named(name, &params).unwrap();
+            prop_assert!(!sweep.points.is_empty(), "{name} enumerated nothing");
+            let mut ids: Vec<&str> = sweep.points.iter().map(|p| p.id.as_str()).collect();
+            ids.sort_unstable();
+            let before = ids.len();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), before, "{} has duplicate ids", name);
+            let mut seed_of = std::collections::HashMap::new();
+            for point in &sweep.points {
+                let prior = seed_of.insert(point.run.kind, point.run.seed);
+                prop_assert!(prior.is_none_or(|s| s == point.run.seed),
+                    "{}: {} configs disagree on the input seed", name, point.run.kind);
+            }
+        }
+    }
+
+    /// Filtered selection picks exactly the matching points — none
+    /// duplicated, none missing, enumeration order preserved — for any
+    /// filter string.
+    #[test]
+    fn sweep_filter_selects_exactly_the_matches(params in any_sweep_params(),
+                                                filter in any_filter()) {
+        let sweep = Sweep::fig15(&params);
+        let cfg = SweepConfig::serial().with_filter(filter.clone());
+        let picked: Vec<&str> = sweep.selected(&cfg).iter().map(|p| p.id.as_str()).collect();
+        let want: Vec<&str> = sweep.points.iter()
+            .map(|p| p.id.as_str())
+            .filter(|id| id.contains(filter.as_str()))
+            .collect();
+        prop_assert_eq!(picked, want);
+        // No filter selects everything.
+        prop_assert_eq!(sweep.selected(&SweepConfig::serial()).len(), sweep.points.len());
+    }
+
+    /// The credit ceiling holds under arbitrary consume/release
+    /// interleavings with multi-credit releases, and the pool's own
+    /// accounting (available + outstanding == total) never drifts.
+    #[test]
+    fn credit_pool_never_exceeds_ceiling(total in 1u32..64,
+                                         ops in prop::collection::vec((any::<bool>(), 1u32..8), 0..500)) {
+        let mut pool = CreditPool::new(total);
+        let mut outstanding = 0u32;
+        let mut denied = 0u64;
+        for (consume, n) in ops {
+            if consume {
+                if pool.try_consume() {
+                    outstanding += 1;
+                } else {
+                    denied += 1;
+                    prop_assert_eq!(pool.available(), 0, "denial only when empty");
+                }
+            } else {
+                let give_back = n.min(outstanding);
+                if give_back > 0 {
+                    pool.release(give_back);
+                    outstanding -= give_back;
+                }
+            }
+            prop_assert!(pool.available() <= pool.total(), "ceiling exceeded");
+            prop_assert_eq!(pool.available() + outstanding, total, "credits leaked");
+            prop_assert!(pool.check_conservation());
+        }
+        prop_assert_eq!(pool.starvations(), denied);
+        prop_assert_eq!(pool.consumed() - pool.returned(), outstanding as u64);
     }
 
     /// CSR construction round-trips an arbitrary edge list.

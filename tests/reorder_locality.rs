@@ -15,7 +15,7 @@ fn bfs_renumbering_reduces_l2_misses() {
     let original = uniform::generate(&UniformConfig::new(12_000, 4), 21);
     let reordered = relabel(&original, &bfs_order(&original, 0));
 
-    let mut run = |g: minnow::graph::Csr| {
+    let run = |g: minnow::graph::Csr| {
         let g = Arc::new(g);
         let mut op = Bfs::new(g, 0);
         let policy = op.default_policy();

@@ -1,0 +1,91 @@
+//! Determinism contract of the parallel sweep engine: the JSON-lines
+//! artifact is byte-identical whether points run one at a time or fan
+//! out across a work-stealing pool, and identical across repeated runs.
+//!
+//! The wall-clock speedup check at the bottom is gated on the machine's
+//! available parallelism (CI containers are often single-core; a 1-core
+//! box cannot show parallel speedup, but it *can* — and does — verify
+//! byte-identical output at any pool width).
+
+use minnow::bench::sweep::{run_sweep, Sweep, SweepConfig, SweepParams};
+
+fn tiny_params() -> SweepParams {
+    SweepParams {
+        scale: 0.03,
+        seed: 1234,
+        headline_threads: 4,
+        max_threads: 4,
+    }
+}
+
+#[test]
+fn pool_width_never_changes_the_artifact() {
+    let sweep = Sweep::smoke(&tiny_params());
+    let serial = run_sweep(&sweep, &SweepConfig::serial());
+    let eight = run_sweep(&sweep, &SweepConfig::serial().with_threads(8));
+    assert_eq!(
+        serial.jsonl(),
+        eight.jsonl(),
+        "--threads 8 must be byte-identical to serial execution"
+    );
+    assert_eq!(serial.points.len(), sweep.points.len());
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let sweep = Sweep::smoke(&tiny_params());
+    let cfg = SweepConfig::serial().with_threads(3);
+    let first = run_sweep(&sweep, &cfg);
+    let second = run_sweep(&sweep, &cfg);
+    assert_eq!(first.jsonl(), second.jsonl());
+    // Summaries agree on everything outside the volatile section.
+    let stable = |s: &str| s.split(",\"volatile\"").next().unwrap().to_string();
+    assert_eq!(
+        stable(&first.summary_json()),
+        stable(&second.summary_json())
+    );
+}
+
+#[test]
+fn filtered_subset_matches_the_full_run() {
+    let sweep = Sweep::fig16(&tiny_params());
+    let full = run_sweep(&sweep, &SweepConfig::serial());
+    let filtered = run_sweep(
+        &sweep,
+        &SweepConfig::serial().with_threads(4).with_filter("/BFS/"),
+    );
+    assert!(!filtered.points.is_empty());
+    for point in &filtered.points {
+        let whole = full.report(&point.id);
+        assert_eq!(
+            point.report.makespan, whole.makespan,
+            "{}: filtering must not perturb a point's result",
+            point.id
+        );
+    }
+}
+
+#[test]
+fn parallel_pool_speeds_up_the_sweep() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 4 {
+        eprintln!("skipping wall-clock speedup check: only {cores} core(s) available");
+        return;
+    }
+    // A fig15-style scalability sweep, scoped down so the test stays
+    // quick while each point is still long enough to measure.
+    let sweep = Sweep::fig15(&SweepParams {
+        scale: 0.06,
+        seed: 99,
+        headline_threads: 4,
+        max_threads: 8,
+    });
+    let serial = run_sweep(&sweep, &SweepConfig::serial());
+    let parallel = run_sweep(&sweep, &SweepConfig::serial().with_threads(8));
+    assert_eq!(serial.jsonl(), parallel.jsonl());
+    let speedup = serial.wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-9);
+    assert!(
+        speedup >= 2.0,
+        "8-thread pool on {cores} cores only {speedup:.2}x faster than serial"
+    );
+}

@@ -1,0 +1,284 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two pieces this workspace uses:
+//!
+//! * [`thread::scope`] — scoped threads with crossbeam's closure signature
+//!   (the spawned closure receives the scope), implemented over
+//!   `std::thread::scope`;
+//! * [`deque`] — the `Injector`/`Worker`/`Stealer` work-stealing deque
+//!   API, implemented with mutex-guarded ring buffers. Not lock-free like
+//!   the real crate, but contention on sweep-sized tasks (milliseconds to
+//!   seconds each) is unmeasurable, and the semantics — LIFO local pops,
+//!   FIFO steals, batched refill from the injector — are preserved.
+
+#![deny(missing_docs)]
+
+/// Scoped threads (the `crossbeam::thread` subset).
+pub mod thread {
+    /// A scope handle passed to [`scope`]'s closure and to every spawned
+    /// thread's closure.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it can
+        /// spawn further threads, matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Creates a scope in which spawned threads may borrow from the
+    /// enclosing stack frame; joins them all before returning.
+    ///
+    /// # Errors
+    ///
+    /// Never fails (panics in spawned threads propagate as panics, exactly
+    /// as `std::thread::scope` behaves); the `Result` exists for crossbeam
+    /// API compatibility.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+/// Work-stealing deques (the `crossbeam::deque` subset).
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Returns the stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// A global FIFO injector queue all workers can push to and steal from.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the global queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().unwrap().push_back(task);
+        }
+
+        /// Steals one task from the front of the global queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch of tasks into `dest`'s local queue and pops one.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = self.queue.lock().unwrap();
+            let Some(first) = q.pop_front() else {
+                return Steal::Empty;
+            };
+            // Take up to half of what remains, capped like crossbeam.
+            let extra = (q.len() / 2).min(16);
+            if extra > 0 {
+                let mut local = dest.shared.lock().unwrap();
+                local.extend(q.drain(..extra));
+            }
+            Steal::Success(first)
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap().len()
+        }
+    }
+
+    /// A worker-local deque: the owner pushes/pops one end, thieves steal
+    /// the other.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        shared: Arc<Mutex<VecDeque<T>>>,
+        fifo: bool,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a FIFO worker queue.
+        pub fn new_fifo() -> Self {
+            Worker {
+                shared: Arc::new(Mutex::new(VecDeque::new())),
+                fifo: true,
+            }
+        }
+
+        /// Creates a LIFO worker queue.
+        pub fn new_lifo() -> Self {
+            Worker {
+                shared: Arc::new(Mutex::new(VecDeque::new())),
+                fifo: false,
+            }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.shared.lock().unwrap().push_back(task);
+        }
+
+        /// Pops a task from the owner's end.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.shared.lock().unwrap();
+            if self.fifo {
+                q.pop_front()
+            } else {
+                q.pop_back()
+            }
+        }
+
+        /// Whether the local queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.shared.lock().unwrap().is_empty()
+        }
+
+        /// Number of locally queued tasks.
+        pub fn len(&self) -> usize {
+            self.shared.lock().unwrap().len()
+        }
+
+        /// Creates a stealer handle for other threads.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    /// A handle that steals from the opposite end of a [`Worker`]'s queue.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        shared: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.shared.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue was empty at the time of the call.
+        pub fn is_empty(&self) -> bool {
+            self.shared.lock().unwrap().is_empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = [1u64, 2, 3, 4];
+        let sum = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let part: u64 = chunk.iter().sum();
+                    sum.fetch_add(part as usize, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn injector_batch_refills_worker() {
+        let inj: Injector<u32> = Injector::new();
+        for i in 0..40 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        let first = inj.steal_batch_and_pop(&w);
+        assert_eq!(first, Steal::Success(0));
+        assert!(!w.is_empty(), "batch must land locally");
+        let mut seen = vec![0u32];
+        while let Some(t) = w.pop() {
+            seen.push(t);
+        }
+        while let Steal::Success(t) = inj.steal() {
+            seen.push(t);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stealers_drain_from_front() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        let st = w.stealer();
+        assert_eq!(st.steal(), Steal::Success(1), "thieves take the oldest");
+        assert_eq!(w.pop(), Some(2), "owner takes the newest");
+        assert!(st.steal().is_empty());
+    }
+}

@@ -1,0 +1,239 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the (small) subset of the `rand 0.8` API the workspace
+//! actually uses: [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and
+//! the [`Rng`] extension methods `gen`, `gen_range`, and `gen_bool`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — statistically
+//! solid for simulation inputs and, crucially, **deterministic**: every
+//! graph analogue in this repository is a pure function of its seed. The
+//! output stream intentionally does not match upstream `rand`'s `SmallRng`
+//! (which is unspecified across versions anyway); golden values in the
+//! test suite are pinned against *this* stream.
+
+#![deny(missing_docs)]
+
+/// A source of 64-bit random words.
+pub trait RngCore {
+    /// Returns the next word in the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding support (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from an `RngCore` (the `Standard`
+/// distribution subset backing [`Rng::gen`]).
+pub trait Uniform01: Sized {
+    /// Draws one value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Uniform01 for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Uniform01 for f32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Uniform01 for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Uniform01 for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Uniform01 for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// Extension methods over any [`RngCore`] (the `rand::Rng` subset).
+pub trait Rng: RngCore {
+    /// Draws a value from the type's standard distribution (`f64`/`f32`
+    /// uniform in `[0, 1)`, integers uniform over their domain).
+    fn gen<T: Uniform01>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// Draws uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        f64::draw(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut st = seed;
+            let s = [
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..32).map(|_| r.gen::<u64>()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..32).map(|_| r.gen::<u64>()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(8);
+            (0..32).map(|_| r.gen::<u64>()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: u32 = r.gen_range(5..17);
+            assert!((5..17).contains(&x));
+            let y: usize = r.gen_range(0..=3);
+            assert!(y <= 3);
+        }
+    }
+
+    #[test]
+    fn unit_interval_and_bool() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let mut trues = 0;
+        for _ in 0..10_000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+            if r.gen_bool(0.25) {
+                trues += 1;
+            }
+        }
+        assert!((1_800..3_200).contains(&trues), "gen_bool(0.25): {trues}");
+    }
+}
