@@ -3,51 +3,46 @@
 //!
 //! Paper shape: only ~28% of cycles are useful work on average; CC is
 //! catastrophically worklist-bound (92%); PR has a large atomic share.
+//!
+//! Columns come from the closed per-core cycle accounting: every core
+//! cycle lands in exactly one bin, so each row sums to 100% of
+//! `makespan x cores` (idle = scheduler polling, drain = a core
+//! finishing before the makespan).
 
 use minnow_algos::WorkloadKind;
 use minnow_bench::max_threads;
 use minnow_bench::runner::BenchRun;
 use minnow_bench::table::{pct, Table};
+use minnow_sim::stats::CycleBin;
 
 fn main() {
     let threads = max_threads();
     println!("Fig. 5: software-baseline cycle breakdown at {threads} threads\n");
-    let mut t = Table::new(
-        "fig05_overhead_breakdown",
-        &["Workload", "useful", "worklist", "memory", "atomics/fence", "branch"],
-    );
-    let mut sums = [0.0f64; 5];
+    let mut cols = vec!["Workload".to_string()];
+    cols.extend(CycleBin::ALL.iter().map(|b| b.name().to_string()));
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut t = Table::new("fig05_overhead_breakdown", &col_refs);
+    let mut sums = [0.0f64; CycleBin::COUNT];
     for kind in WorkloadKind::ALL {
         let r = BenchRun::software_default(kind, threads).execute();
-        let b = r.breakdown;
-        let fr = [
-            b.fraction(b.useful),
-            b.fraction(b.worklist),
-            b.fraction(b.memory),
-            b.fraction(b.fence),
-            b.fraction(b.branch),
-        ];
-        for (s, f) in sums.iter_mut().zip(fr) {
+        r.accounting
+            .verify_closed(r.makespan)
+            .expect("per-core bins must cover every cycle of the makespan");
+        let total = (r.makespan as f64 * threads as f64).max(1.0);
+        let merged = r.accounting.merged();
+        let mut row = vec![kind.name().to_string()];
+        for (s, bin) in sums.iter_mut().zip(CycleBin::ALL) {
+            let f = merged.get(bin) as f64 / total;
             *s += f;
+            row.push(pct(f));
         }
-        t.row(vec![
-            kind.name().to_string(),
-            pct(fr[0]),
-            pct(fr[1]),
-            pct(fr[2]),
-            pct(fr[3]),
-            pct(fr[4]),
-        ]);
+        t.row(row);
     }
     let n = WorkloadKind::ALL.len() as f64;
-    t.row(vec![
-        "average".to_string(),
-        pct(sums[0] / n),
-        pct(sums[1] / n),
-        pct(sums[2] / n),
-        pct(sums[3] / n),
-        pct(sums[4] / n),
-    ]);
+    let mut avg = vec!["average".to_string()];
+    avg.extend(sums.iter().map(|s| pct(s / n)));
+    t.row(avg);
     t.finish();
     println!("\npaper shape: useful ~28% avg; CC worklist-dominated; PR atomic-heavy");
+    println!("rows are closed: the seven bins sum to 100% of makespan x cores");
 }

@@ -14,6 +14,7 @@ use minnow_runtime::{PolicyKind, SoftwareScheduler};
 use minnow_sim::core::CoreMode;
 use minnow_sim::hierarchy::MemoryHierarchy;
 use minnow_sim::observer::HwPrefetcher;
+use minnow_sim::trace::Tracer;
 
 /// Which scheduler/executor drives the run.
 #[derive(Debug, Clone)]
@@ -147,16 +148,31 @@ impl BenchRun {
 
     /// Executes the run on a prepared input (lets sweeps share generation).
     pub fn execute_on(&self, graph: Arc<Csr>) -> RunReport {
+        self.execute_traced_on(graph, &Tracer::disabled())
+    }
+
+    /// Executes the run with structured tracing: every component (the
+    /// hierarchy, the executor, Minnow engines, the BSP engine) reports
+    /// events into `tracer`. Simulation results are identical to the
+    /// untraced run — tracing only observes.
+    pub fn execute_traced(&self, tracer: &Tracer) -> RunReport {
+        self.execute_traced_on(self.input(), tracer)
+    }
+
+    /// [`BenchRun::execute_traced`] on a prepared input.
+    pub fn execute_traced_on(&self, graph: Arc<Csr>, tracer: &Tracer) -> RunReport {
         let mut op = self.kind.operator_on(graph.clone());
         let cfg = self.exec_config();
         match &self.sched {
             SchedSpec::Software(policy) => {
                 let mut mem = MemoryHierarchy::new(&cfg.sim);
+                mem.set_tracer(tracer.clone());
                 let mut sched = SoftwareScheduler::new(policy.build(), self.threads);
                 run(op.as_mut(), &mut sched, &mut mem, &cfg)
             }
             SchedSpec::Minnow { wdp_credits } => {
                 let mut mem = MemoryHierarchy::new(&cfg.sim);
+                mem.set_tracer(tracer.clone());
                 let mut mc = MinnowConfig::paper(self.kind.lg_bucket());
                 mc.prefetch_credits = *wdp_credits;
                 let mut sched = MinnowScheduler::new(
@@ -170,6 +186,7 @@ impl BenchRun {
             }
             SchedSpec::MinnowWithHw(hw) => {
                 let mut mem = MemoryHierarchy::new(&cfg.sim);
+                mem.set_tracer(tracer.clone());
                 let mut sched = MinnowScheduler::new(
                     graph.clone(),
                     op.address_map(),
@@ -194,6 +211,7 @@ impl BenchRun {
                 let mut bsp = BspConfig::new(self.threads);
                 bsp.lg_bucket_interval = *lg;
                 bsp.core_mode = self.core_mode;
+                bsp.tracer = tracer.clone();
                 run_bsp(op.as_mut(), &bsp)
             }
         }

@@ -35,8 +35,10 @@ use std::time::{Duration, Instant};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use minnow_algos::WorkloadKind;
 use minnow_runtime::sim_exec::RunReport;
+use minnow_sim::stats::CycleBin;
+use minnow_sim::trace::{TraceEvent, Tracer};
 
-use crate::json::JsonObject;
+use crate::json::{escape, JsonObject};
 use crate::runner::{BenchRun, HwKind, SchedSpec};
 
 /// Derives a point-input seed from the sweep seed and a stable key
@@ -303,6 +305,10 @@ pub struct SweepConfig {
     pub threads: usize,
     /// Substring filter over point ids (`None` selects everything).
     pub filter: Option<String>,
+    /// Capture a structured event trace per point. Never changes
+    /// simulation results or the JSONL artifact — traces are exported
+    /// separately (see [`SweepResult::chrome_trace_json`]).
+    pub trace: bool,
 }
 
 impl SweepConfig {
@@ -311,6 +317,7 @@ impl SweepConfig {
         SweepConfig {
             threads: 1,
             filter: None,
+            trace: false,
         }
     }
 
@@ -320,6 +327,7 @@ impl SweepConfig {
         SweepConfig {
             threads: crate::sweep_threads(),
             filter: None,
+            trace: false,
         }
     }
 
@@ -332,6 +340,12 @@ impl SweepConfig {
     /// Same configuration with a substring filter.
     pub fn with_filter(mut self, filter: impl Into<String>) -> Self {
         self.filter = Some(filter.into());
+        self
+    }
+
+    /// Same configuration with per-point trace capture enabled.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
         self
     }
 
@@ -350,6 +364,9 @@ pub struct PointResult {
     pub run: BenchRun,
     /// The simulation report.
     pub report: RunReport,
+    /// Captured trace events (timestamp-sorted), when the sweep ran
+    /// with [`SweepConfig::trace`].
+    pub trace: Option<Vec<TraceEvent>>,
 }
 
 /// All results of one sweep execution, in enumeration order.
@@ -392,11 +409,20 @@ pub fn run_sweep(sweep: &Sweep, cfg: &SweepConfig) -> SweepResult {
             s.spawn(move |_| {
                 while let Some(slot) = next_task(&local, injector, stealers) {
                     let point = selected[slot];
-                    let report = point.run.execute();
+                    let (report, trace) = if cfg.trace {
+                        // Each point gets a private buffer, so pool
+                        // interleaving never mixes event streams.
+                        let tracer = Tracer::enabled();
+                        let report = point.run.execute_traced(&tracer);
+                        (report, Some(tracer.take_events()))
+                    } else {
+                        (point.run.execute(), None)
+                    };
                     let result = PointResult {
                         id: point.id.clone(),
                         run: point.run.clone(),
                         report,
+                        trace,
                     };
                     slots.lock().unwrap_or_else(|e| e.into_inner())[slot] = Some(result);
                 }
@@ -496,8 +522,94 @@ impl SweepResult {
             .finish()
     }
 
+    /// Serializes every point's *closed* cycle accounting as one JSON
+    /// object per line (separate from [`SweepResult::jsonl`], whose
+    /// byte layout is frozen by the determinism contract). Each record
+    /// carries the across-core total of every [`CycleBin`] plus the
+    /// makespan and core count; bins × makespan close exactly:
+    /// `sum(bins) == makespan * cores`.
+    pub fn breakdown_jsonl(&self) -> String {
+        let mut out = String::new();
+        for point in &self.points {
+            let acct = &point.report.accounting;
+            let mut obj = JsonObject::new()
+                .str("sweep", &self.sweep)
+                .str("id", &point.id)
+                .u64("makespan", point.report.makespan)
+                .u64("cores", acct.cores() as u64);
+            for bin in CycleBin::ALL {
+                obj = obj.u64(bin.name(), acct.bin_total(bin));
+            }
+            out.push_str(&obj.finish());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the Fig. 5-style breakdown table: for every point, the
+    /// fraction of total core-cycles (makespan × cores) spent in each
+    /// closed accounting bin. Rows sum to 100% by construction.
+    pub fn breakdown_table(&self) -> String {
+        let id_width = self
+            .points
+            .iter()
+            .map(|p| p.id.len())
+            .max()
+            .unwrap_or(8)
+            .max("point".len());
+        let mut out = format!("{:<id_width$}", "point");
+        for bin in CycleBin::ALL {
+            out.push_str(&format!(" {:>8}", bin.name()));
+        }
+        out.push_str(&format!(" {:>12}\n", "makespan"));
+        for point in &self.points {
+            let acct = &point.report.accounting;
+            let denom = (point.report.makespan * acct.cores() as u64).max(1) as f64;
+            out.push_str(&format!("{:<id_width$}", point.id));
+            for bin in CycleBin::ALL {
+                let frac = acct.bin_total(bin) as f64 / denom;
+                out.push_str(&format!(" {:>7.1}%", frac * 100.0));
+            }
+            out.push_str(&format!(" {:>12}\n", point.report.makespan));
+        }
+        out
+    }
+
+    /// Merges every captured point trace into one Chrome `trace_event`
+    /// JSON document: each point becomes a process (pid = enumeration
+    /// index, named by a `process_name` metadata event), each simulated
+    /// core a thread. Returns `None` when the sweep ran without
+    /// [`SweepConfig::trace`]. Deterministic for a fixed sweep and seed.
+    pub fn chrome_trace_json(&self) -> Option<String> {
+        if self.points.iter().all(|p| p.trace.is_none()) {
+            return None;
+        }
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        for (pid, point) in self.points.iter().enumerate() {
+            let Some(events) = &point.trace else { continue };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(&point.id)
+            ));
+            for ev in events {
+                out.push(',');
+                out.push_str(&ev.to_chrome_json(pid as u64));
+            }
+        }
+        out.push_str("],\"displayTimeUnit\":\"ns\"}");
+        Some(out)
+    }
+
     /// Writes `<sweep>.jsonl` and `<sweep>.summary.json` under `dir`,
-    /// returning their paths.
+    /// returning their paths. Also writes the closed cycle-accounting
+    /// records (`<sweep>.breakdown.jsonl`) and Fig. 5-style table
+    /// (`<sweep>.breakdown.txt`) — new files alongside the frozen ones.
     ///
     /// # Errors
     ///
@@ -511,6 +623,14 @@ impl SweepResult {
         let summary = dir.join(format!("{}.summary.json", self.sweep));
         std::fs::write(&jsonl, self.jsonl())?;
         std::fs::write(&summary, self.summary_json() + "\n")?;
+        std::fs::write(
+            dir.join(format!("{}.breakdown.jsonl", self.sweep)),
+            self.breakdown_jsonl(),
+        )?;
+        std::fs::write(
+            dir.join(format!("{}.breakdown.txt", self.sweep)),
+            self.breakdown_table(),
+        )?;
         Ok((jsonl, summary))
     }
 }

@@ -239,6 +239,10 @@ impl MinnowScheduler {
         let access = mem.engine_access(core, line, AccessKind::Store, acq.start);
         self.global.push(task);
         let done = self.engines[e].busy(acq.done, ENGINE_OP_WORK);
+        mem.tracer().emit(|| {
+            minnow_sim::trace::TraceEvent::instant("spill", "sched", core as u32, acq.start)
+                .with_arg("bucket", bucket)
+        });
         done + access.latency
     }
 
@@ -302,7 +306,13 @@ impl MinnowScheduler {
         for t in &tasks {
             self.queue_prefetch(core, t);
         }
+        let streamed = tasks.len() as u64;
         self.engines[e].stream_in(done, tasks, head);
+        mem.tracer().emit(|| {
+            minnow_sim::trace::TraceEvent::instant("refill", "sched", core as u32, acq.start)
+                .with_arg("bucket", head)
+                .with_arg("tasks", streamed)
+        });
         Some(done)
     }
 }

@@ -229,6 +229,16 @@ impl PrefetchPipeline {
             let (_, addr) = self.pending.pop_front().expect("checked non-empty");
             let res = mem.prefetch_fill(core, addr, issue_at);
             if res.filled {
+                mem.tracer().emit(|| {
+                    minnow_sim::trace::TraceEvent::complete(
+                        "wdp",
+                        "prefetch",
+                        core as u32,
+                        issue_at,
+                        res.latency,
+                    )
+                    .with_arg("addr", addr)
+                });
                 self.stats.issued += 1;
                 if self.inflight.len() >= self.load_buffer {
                     self.inflight.pop();

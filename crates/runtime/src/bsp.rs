@@ -19,6 +19,8 @@ use minnow_sim::config::SimConfig;
 use minnow_sim::core::{CoreMode, CoreModel, TaskTrace};
 use minnow_sim::cycles::Cycle;
 use minnow_sim::hierarchy::{AccessKind, CacheLevel, MemoryHierarchy};
+use minnow_sim::stats::{CycleAccounting, CycleBin};
+use minnow_sim::trace::{TraceEvent, Tracer};
 
 use crate::op::{Operator, TaskCtx};
 use crate::sim_exec::{Breakdown, RunReport};
@@ -40,6 +42,9 @@ pub struct BspConfig {
     pub superstep_limit: u64,
     /// Count atomics as stores (serial baseline comparisons).
     pub serial_baseline: bool,
+    /// Structured event sink (disabled by default; the BSP engine owns
+    /// its hierarchy, so the tracer is injected through the config).
+    pub tracer: Tracer,
 }
 
 impl BspConfig {
@@ -52,6 +57,7 @@ impl BspConfig {
             lg_bucket_interval: None,
             superstep_limit: 200_000,
             serial_baseline: false,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -78,6 +84,9 @@ fn sweep_cost(nodes: usize, threads: usize) -> Cycle {
 pub fn run_bsp(op: &mut dyn Operator, cfg: &BspConfig) -> RunReport {
     assert!(cfg.threads >= 1, "need at least one thread");
     let mut mem = MemoryHierarchy::new(&cfg.sim);
+    mem.set_tracer(cfg.tracer.clone());
+    let tracer = cfg.tracer.clone();
+    let mut accounting = CycleAccounting::new(cfg.threads);
     let core_model = CoreModel::new(cfg.sim.ooo, cfg.core_mode, cfg.sim.branch_mispredict_rate);
     let map = op.address_map();
     let nodes = op.graph().nodes();
@@ -106,6 +115,7 @@ pub fn run_bsp(op: &mut dyn Operator, cfg: &BspConfig) -> RunReport {
         prefetch_fills: 0,
         prefetch_used: 0,
         supersteps: 0,
+        accounting: CycleAccounting::new(0),
     };
     let mut now: Cycle = 0;
 
@@ -116,9 +126,11 @@ pub fn run_bsp(op: &mut dyn Operator, cfg: &BspConfig) -> RunReport {
             if report.supersteps >= cfg.superstep_limit {
                 report.timed_out = true;
                 report.makespan = now;
-                return finish(report, &mut mem, cfg.threads);
+                return finish(report, &mut mem, cfg.threads, accounting);
             }
             report.supersteps += 1;
+            let superstep_start = now;
+            let frontier_size = frontier.len() as u64;
 
             // GraphMat processes each active node once per superstep.
             frontier.sort_unstable_by_key(|t| t.node);
@@ -160,12 +172,19 @@ pub fn run_bsp(op: &mut dyn Operator, cfg: &BspConfig) -> RunReport {
                 };
                 let cycles = core_model.task_cycles(&trace);
                 clocks[thread] += cycles.total();
-                report.breakdown.useful += cycles.compute;
-                report.breakdown.memory += cycles.memory;
-                report.breakdown.fence += cycles.fence;
-                report.breakdown.branch += cycles.branch;
+                accounting.charge(thread, CycleBin::Useful, cycles.compute);
+                accounting.charge(thread, CycleBin::Memory, cycles.memory);
+                accounting.charge(thread, CycleBin::Fence, cycles.fence);
+                accounting.charge(thread, CycleBin::Branch, cycles.branch);
                 report.instructions += ctx.instrs();
                 report.tasks += 1;
+                tracer.emit(|| {
+                    TraceEvent::complete("execute", "task", thread as u32, t0, cycles.total())
+                        .with_arg("node", task.node as u64)
+                        .with_arg("memory", cycles.memory)
+                        .with_arg("fence", cycles.fence)
+                        .with_arg("branch", cycles.branch)
+                });
 
                 for pushed in ctx.take_pushes() {
                     let b = bucket_of(&pushed);
@@ -181,19 +200,45 @@ pub fn run_bsp(op: &mut dyn Operator, cfg: &BspConfig) -> RunReport {
                 }
             }
 
-            let busiest = clocks.into_iter().max().unwrap_or(now);
+            let busiest = clocks.iter().copied().max().unwrap_or(now);
+            // Threads that finished their share early wait at the
+            // barrier: superstep load imbalance is idle time.
+            for (t, &c) in clocks.iter().enumerate() {
+                accounting.charge(t, CycleBin::Idle, busiest - c);
+            }
             let sweep = sweep_cost(nodes, cfg.threads) + barrier_cost(cfg.threads);
-            report.breakdown.worklist += sweep * cfg.threads as u64;
+            for t in 0..cfg.threads {
+                accounting.charge(t, CycleBin::Worklist, sweep);
+            }
             now = busiest + sweep;
             frontier = next.into_values().collect();
+            tracer.emit(|| {
+                TraceEvent::complete("superstep", "bsp", 0, superstep_start, now - superstep_start)
+                    .with_arg("frontier", frontier_size)
+                    .with_arg("bucket", bucket)
+            });
         }
     }
 
     report.makespan = now;
-    finish(report, &mut mem, cfg.threads)
+    finish(report, &mut mem, cfg.threads, accounting)
 }
 
-fn finish(mut report: RunReport, mem: &mut MemoryHierarchy, threads: usize) -> RunReport {
+fn finish(
+    mut report: RunReport,
+    mem: &mut MemoryHierarchy,
+    threads: usize,
+    mut accounting: CycleAccounting,
+) -> RunReport {
+    accounting.close(report.makespan);
+    report.breakdown = Breakdown {
+        useful: accounting.bin_total(CycleBin::Useful),
+        worklist: accounting.bin_total(CycleBin::Worklist),
+        memory: accounting.bin_total(CycleBin::Memory),
+        fence: accounting.bin_total(CycleBin::Fence),
+        branch: accounting.bin_total(CycleBin::Branch),
+    };
+    report.accounting = accounting;
     let total = mem.total_stats();
     report.l2_misses = total.l2_misses;
     report.mem_accesses = total.accesses;

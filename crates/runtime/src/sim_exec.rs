@@ -24,6 +24,8 @@ use minnow_sim::core::{CoreMode, CoreModel, TaskTrace};
 use minnow_sim::cycles::Cycle;
 use minnow_sim::hierarchy::{AccessKind, CacheLevel, MemoryHierarchy};
 use minnow_sim::observer::{HwPrefetcher, MemoryImage};
+use minnow_sim::stats::{CycleAccounting, CycleBin};
+use minnow_sim::trace::TraceEvent;
 
 use crate::op::{Operator, TaskCtx};
 use crate::sched::{SchedStats, SchedulerModel, SoftwareScheduler};
@@ -133,6 +135,12 @@ pub struct RunReport {
     pub prefetch_used: u64,
     /// Bulk-synchronous supersteps (0 for asynchronous executors).
     pub supersteps: u64,
+    /// Closed per-core cycle accounting: every cycle of every core up
+    /// to the makespan lands in exactly one [`CycleBin`]. The
+    /// [`Breakdown`] is derived from it (busy bins only); this field
+    /// additionally exposes per-core detail plus the Idle and Drain
+    /// bins that make the books balance.
+    pub accounting: CycleAccounting,
 }
 
 impl RunReport {
@@ -214,6 +222,8 @@ pub fn run_with_prefetcher(
 
     sched.seed(op.initial_tasks());
 
+    let tracer = mem.tracer().clone();
+    let mut accounting = CycleAccounting::new(cfg.threads);
     let mut clock = vec![0 as Cycle; cfg.threads];
     let mut report = RunReport {
         makespan: 0,
@@ -229,6 +239,7 @@ pub fn run_with_prefetcher(
         prefetch_fills: 0,
         prefetch_used: 0,
         supersteps: 0,
+        accounting: CycleAccounting::new(0),
     };
 
     'outer: loop {
@@ -244,7 +255,7 @@ pub fn run_with_prefetcher(
 
         let deq = sched.dequeue(idx, now, mem);
         clock[idx] += deq.cost;
-        report.breakdown.worklist += deq.cost;
+        accounting.charge(idx, CycleBin::Worklist, deq.cost);
 
         let Some(task) = deq.task else {
             if sched.pending() == 0 {
@@ -252,9 +263,17 @@ pub fn run_with_prefetcher(
                 // atomically at dequeue time): global termination.
                 break 'outer;
             }
+            accounting.charge(idx, CycleBin::Idle, cfg.poll_interval);
+            tracer.emit(|| {
+                TraceEvent::complete("poll", "sched", idx as u32, clock[idx], cfg.poll_interval)
+            });
             clock[idx] += cfg.poll_interval;
             continue;
         };
+        tracer.emit(|| {
+            TraceEvent::complete("dequeue", "sched", idx as u32, now, deq.cost)
+                .with_arg("node", task.node as u64)
+        });
 
         // ---- execute the task functionally, recording its trace ----
         let mut ctx = TaskCtx::new(map, cfg.serial_baseline);
@@ -292,11 +311,18 @@ pub fn run_with_prefetcher(
         };
         let cycles = core_model.task_cycles(&trace);
         clock[idx] += cycles.total();
-        report.breakdown.useful += cycles.compute;
-        report.breakdown.memory += cycles.memory;
-        report.breakdown.fence += cycles.fence;
-        report.breakdown.branch += cycles.branch;
+        accounting.charge(idx, CycleBin::Useful, cycles.compute);
+        accounting.charge(idx, CycleBin::Memory, cycles.memory);
+        accounting.charge(idx, CycleBin::Fence, cycles.fence);
+        accounting.charge(idx, CycleBin::Branch, cycles.branch);
         report.instructions += ctx.instrs();
+        tracer.emit(|| {
+            TraceEvent::complete("execute", "task", idx as u32, t0, cycles.total())
+                .with_arg("node", task.node as u64)
+                .with_arg("memory", cycles.memory)
+                .with_arg("fence", cycles.fence)
+                .with_arg("branch", cycles.branch)
+        });
 
         // ---- enqueue follow-up tasks (with splitting) ----
         for pushed in ctx.take_pushes() {
@@ -308,13 +334,22 @@ pub fn run_with_prefetcher(
                 None => vec![pushed],
             };
             for part in parts {
-                let cost = sched.enqueue(idx, part, clock[idx], mem);
+                let at = clock[idx];
+                let cost = sched.enqueue(idx, part, at, mem);
                 clock[idx] += cost;
-                report.breakdown.worklist += cost;
+                accounting.charge(idx, CycleBin::Worklist, cost);
+                tracer.emit(|| {
+                    TraceEvent::complete("enqueue", "sched", idx as u32, at, cost)
+                        .with_arg("node", part.node as u64)
+                });
             }
         }
 
         report.tasks += 1;
+        tracer.emit(|| {
+            TraceEvent::instant("retire", "task", idx as u32, clock[idx])
+                .with_arg("node", task.node as u64)
+        });
         if report.tasks >= cfg.task_limit {
             report.timed_out = true;
             break 'outer;
@@ -322,6 +357,15 @@ pub fn run_with_prefetcher(
     }
 
     report.makespan = clock.iter().copied().max().unwrap_or(0);
+    accounting.close(report.makespan);
+    report.breakdown = Breakdown {
+        useful: accounting.bin_total(CycleBin::Useful),
+        worklist: accounting.bin_total(CycleBin::Worklist),
+        memory: accounting.bin_total(CycleBin::Memory),
+        fence: accounting.bin_total(CycleBin::Fence),
+        branch: accounting.bin_total(CycleBin::Branch),
+    };
+    report.accounting = accounting;
     report.sched = sched.stats();
     report.instructions += report.sched.instrs;
     let total = mem.total_stats();

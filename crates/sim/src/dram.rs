@@ -10,7 +10,7 @@
 
 use crate::contend::GapTracker;
 use crate::cycles::Cycle;
-use crate::stats::{Counter, Distribution};
+use crate::stats::{Counter, Distribution, Histogram};
 
 /// Multi-channel DRAM with per-channel queueing.
 #[derive(Debug, Clone)]
@@ -20,6 +20,7 @@ pub struct Dram {
     channels: Vec<GapTracker>,
     accesses: Counter,
     queueing: Distribution,
+    queue_hist: Histogram,
 }
 
 impl Dram {
@@ -42,6 +43,7 @@ impl Dram {
             channels: vec![GapTracker::new(); channels],
             accesses: Counter::new(),
             queueing: Distribution::new(),
+            queue_hist: Histogram::new(),
         }
     }
 
@@ -60,7 +62,13 @@ impl Dram {
         let start = self.channels[ch].reserve(now, self.service);
         let queued = start - now;
         self.queueing.record(queued as f64);
+        self.queue_hist.record(queued);
         self.base_latency + queued
+    }
+
+    /// Uncontended access latency in cycles.
+    pub fn base_latency(&self) -> Cycle {
+        self.base_latency
     }
 
     /// Total accesses serviced.
@@ -71,6 +79,12 @@ impl Dram {
     /// Queueing-delay distribution (cycles spent waiting for a channel).
     pub fn queueing(&self) -> &Distribution {
         &self.queueing
+    }
+
+    /// Log2-bucketed histogram of per-access queueing delays (exactly
+    /// mergeable across sweeps, unlike the running distribution).
+    pub fn queue_histogram(&self) -> &Histogram {
+        &self.queue_hist
     }
 
     /// Mean achieved latency (base + mean queueing).

@@ -19,6 +19,8 @@ use crate::config::SimConfig;
 use crate::cycles::Cycle;
 use crate::dram::Dram;
 use crate::noc::Noc;
+use crate::stats::MetricsRegistry;
+use crate::trace::{TraceEvent, Tracer};
 
 /// Kind of demand access issued by a worker core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +121,9 @@ pub struct MemoryHierarchy {
     /// evictions), for prefetch-efficiency diagnosis.
     prefetch_invalidated: u64,
     core_stats: Vec<CoreMemStats>,
+    /// Structured event sink; disabled by default (zero timing impact
+    /// either way — tracing only observes).
+    tracer: Tracer,
 }
 
 impl MemoryHierarchy {
@@ -145,12 +150,25 @@ impl MemoryHierarchy {
             prefetch_ready: vec![HashMap::new(); cfg.cores],
             prefetch_invalidated: 0,
             core_stats: vec![CoreMemStats::default(); cfg.cores],
+            tracer: Tracer::disabled(),
         }
     }
 
     /// Number of cores this hierarchy serves.
     pub fn cores(&self) -> usize {
         self.cores
+    }
+
+    /// Installs a tracer; the hierarchy and anything that clones the
+    /// handle via [`MemoryHierarchy::tracer`] (executors, prefetch
+    /// pipelines) will report structured events into it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer handle (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// L3 bank (tile) holding a line — used for NoC distance.
@@ -193,11 +211,11 @@ impl MemoryHierarchy {
         // L2 (where Minnow prefetch bits live).
         let l2 = self.l2[core].access(addr, write);
         if l2.hit {
-            self.fill_private(core, addr, write, FillDepth::L1Only);
+            self.fill_private(core, addr, write, FillDepth::L1Only, now);
             let mut latency = self.l2_latency;
             if l2.prefetch_consumed {
                 self.pending_credits[core] += 1;
-                latency = latency.max(self.prefetch_arrival_stall(core, addr, now));
+                latency = latency.max(self.hit_under_miss_stall(core, addr, now));
             }
             if write {
                 latency += self.ownership_cost(core, addr, now);
@@ -212,7 +230,7 @@ impl MemoryHierarchy {
 
         // Beyond the private caches.
         let (beyond_latency, level) = self.fetch_from_shared(core, addr, now + self.l2_latency);
-        self.fill_private(core, addr, write, FillDepth::L1AndL2);
+        self.fill_private(core, addr, write, FillDepth::L1AndL2, now);
         self.directory_add_sharer(core, addr);
         let mut latency = self.l2_latency + beyond_latency;
         if write {
@@ -243,6 +261,13 @@ impl MemoryHierarchy {
                 self.prefetch_ready[core].remove(&ev.line_addr);
             }
             self.directory_remove_sharer_line(core, ev.line_addr);
+            let line = ev.line_addr;
+            let unused = ev.prefetch_unused as u64;
+            self.tracer.emit(|| {
+                TraceEvent::instant("evict", "cache", core as u32, now)
+                    .with_arg("line", line)
+                    .with_arg("prefetch_unused", unused)
+            });
         }
         self.directory_add_sharer(core, addr);
         let latency = self.l2_latency + beyond_latency;
@@ -250,6 +275,9 @@ impl MemoryHierarchy {
         // `now + latency`; early demand consumers stall until then.
         let line = self.l3.line_of(addr);
         self.prefetch_ready[core].insert(line, now + latency);
+        self.tracer.emit(|| {
+            TraceEvent::complete("fill", "cache", core as u32, now, latency).with_arg("line", line)
+        });
         PrefetchResult {
             latency,
             filled: true,
@@ -275,7 +303,7 @@ impl MemoryHierarchy {
             let mut latency = self.l2_latency;
             if l2.prefetch_consumed {
                 self.pending_credits[core] += 1;
-                latency = latency.max(self.prefetch_arrival_stall(core, addr, now));
+                latency = latency.max(self.hit_under_miss_stall(core, addr, now));
             }
             if write {
                 latency += self.ownership_cost(core, addr, now);
@@ -294,6 +322,13 @@ impl MemoryHierarchy {
                 self.prefetch_ready[core].remove(&ev.line_addr);
             }
             self.directory_remove_sharer_line(core, ev.line_addr);
+            let line = ev.line_addr;
+            let unused = ev.prefetch_unused as u64;
+            self.tracer.emit(|| {
+                TraceEvent::instant("evict", "cache", core as u32, now)
+                    .with_arg("line", line)
+                    .with_arg("prefetch_unused", unused)
+            });
         }
         self.directory_add_sharer(core, addr);
         let mut latency = self.l2_latency + beyond_latency;
@@ -357,6 +392,28 @@ impl MemoryHierarchy {
         &self.noc
     }
 
+    /// Snapshots hierarchy-wide metrics into a labeled registry:
+    /// demand/engine traffic counters, prefetch health, and the DRAM
+    /// and NoC queueing histograms. Labels are stable and sorted, so
+    /// two snapshots of identical runs compare equal.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let t = self.total_stats();
+        reg.set("mem.accesses", t.accesses);
+        reg.set("mem.l1_misses", t.l1_misses);
+        reg.set("mem.l2_misses", t.l2_misses);
+        reg.set("mem.l3_misses", t.l3_misses);
+        reg.set("mem.engine_accesses", t.engine_accesses);
+        reg.set("mem.engine_l2_misses", t.engine_l2_misses);
+        reg.set("mem.prefetch_invalidated", self.prefetch_invalidated);
+        reg.set("dram.accesses", self.dram.accesses());
+        reg.set("noc.packets", self.noc.packets());
+        reg.set("noc.hops", self.noc.total_hops());
+        reg.insert_histogram("dram.queue_cycles", self.dram.queue_histogram().clone());
+        reg.insert_histogram("noc.queue_cycles", self.noc.queue_histogram().clone());
+        reg
+    }
+
     /// Resets all statistics, keeping cache contents (post-warmup).
     pub fn reset_stats(&mut self) {
         for c in &mut self.l1 {
@@ -383,6 +440,20 @@ impl MemoryHierarchy {
         }
     }
 
+    /// [`Self::prefetch_arrival_stall`], tracing the hit-under-miss span
+    /// when a demand access catches an in-flight prefetch.
+    fn hit_under_miss_stall(&mut self, core: usize, addr: u64, now: Cycle) -> Cycle {
+        let stall = self.prefetch_arrival_stall(core, addr, now);
+        if stall > 0 {
+            let line = self.l3.line_of(addr);
+            self.tracer.emit(|| {
+                TraceEvent::complete("hit_under_miss", "cache", core as u32, now, stall)
+                    .with_arg("line", line)
+            });
+        }
+        stall
+    }
+
     /// Fetches a line from L3/DRAM on behalf of `core`; returns (latency
     /// beyond the private caches, servicing level) and fills the L3.
     fn fetch_from_shared(&mut self, core: usize, addr: u64, now: Cycle) -> (Cycle, CacheLevel) {
@@ -400,11 +471,19 @@ impl MemoryHierarchy {
         let resp = self
             .noc
             .route(bank, core, 64, now + req + self.l3_latency + mem);
+        if self.tracer.is_enabled() {
+            let queued = mem - self.dram.base_latency();
+            let hops = self.noc.total_hops();
+            self.tracer
+                .emit(|| TraceEvent::counter("dram_queue", "dram", core as u32, now, queued));
+            self.tracer
+                .emit(|| TraceEvent::counter("noc_hops", "noc", core as u32, now, hops));
+        }
         (req + self.l3_latency + mem + resp, CacheLevel::Memory)
     }
 
     /// Fill the private caches after a hit at an outer level.
-    fn fill_private(&mut self, core: usize, addr: u64, write: bool, depth: FillDepth) {
+    fn fill_private(&mut self, core: usize, addr: u64, write: bool, depth: FillDepth, now: Cycle) {
         if matches!(depth, FillDepth::L1AndL2) {
             if let Some(ev) = self.l2[core].fill(addr, write, false) {
                 if ev.prefetch_unused {
@@ -412,6 +491,13 @@ impl MemoryHierarchy {
                     self.prefetch_ready[core].remove(&ev.line_addr);
                 }
                 self.directory_remove_sharer_line(core, ev.line_addr);
+                let line = ev.line_addr;
+                let unused = ev.prefetch_unused as u64;
+                self.tracer.emit(|| {
+                    TraceEvent::instant("evict", "cache", core as u32, now)
+                        .with_arg("line", line)
+                        .with_arg("prefetch_unused", unused)
+                });
             }
         }
         self.l1[core].fill(addr, write, false);

@@ -52,7 +52,10 @@ pub mod hierarchy;
 pub mod noc;
 pub mod observer;
 pub mod stats;
+pub mod trace;
 
 pub use crate::config::SimConfig;
 pub use crate::cycles::Cycle;
 pub use crate::hierarchy::{AccessKind, AccessResult, CacheLevel, MemoryHierarchy};
+pub use crate::stats::{CycleAccounting, CycleBin, Histogram, MetricsRegistry};
+pub use crate::trace::{TraceEvent, TracePhase, Tracer};

@@ -8,7 +8,7 @@
 
 use crate::contend::GapTracker;
 use crate::cycles::Cycle;
-use crate::stats::{Counter, Distribution};
+use crate::stats::{Counter, Distribution, Histogram};
 
 /// A tile coordinate on the mesh.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +31,7 @@ pub struct Noc {
     packets: Counter,
     total_hops: Counter,
     queueing: Distribution,
+    queue_hist: Histogram,
 }
 
 /// Direction of a directed mesh link.
@@ -60,6 +61,7 @@ impl Noc {
             packets: Counter::new(),
             total_hops: Counter::new(),
             queueing: Distribution::new(),
+            queue_hist: Histogram::new(),
         }
     }
 
@@ -129,6 +131,7 @@ impl Noc {
         }
         self.total_hops.add(hops);
         self.queueing.record(queued as f64);
+        self.queue_hist.record(queued);
         at - now
     }
 
@@ -157,6 +160,17 @@ impl Noc {
     /// Queueing-delay distribution across routed packets.
     pub fn queueing(&self) -> &Distribution {
         &self.queueing
+    }
+
+    /// Log2-bucketed histogram of per-packet link-queueing delays
+    /// (exactly mergeable, for metrics snapshots).
+    pub fn queue_histogram(&self) -> &Histogram {
+        &self.queue_hist
+    }
+
+    /// Total hops crossed by all packets (link occupancy proxy).
+    pub fn total_hops(&self) -> u64 {
+        self.total_hops.get()
     }
 }
 

@@ -1,6 +1,13 @@
-//! Lightweight statistics counters shared by all models.
+//! Statistics primitives shared by all models: counters, running
+//! distributions, log2-bucketed histograms with exact merge, a labeled
+//! metrics registry, and the *closed* per-core cycle-accounting bins
+//! behind the Fig. 5 breakdown (every simulated cycle lands in exactly
+//! one bin).
 
+use std::collections::BTreeMap;
 use std::fmt;
+
+use crate::cycles::Cycle;
 
 /// A monotonically increasing event counter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -43,7 +50,7 @@ impl fmt::Display for Counter {
 }
 
 /// Running statistics over a stream of samples: count, sum, min, max, mean.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Distribution {
     count: u64,
     sum: f64,
@@ -51,15 +58,24 @@ pub struct Distribution {
     max: f64,
 }
 
-impl Distribution {
-    /// Creates an empty distribution.
-    pub fn new() -> Self {
+/// An empty distribution. The extremes start at ±∞ (not 0.0) so the
+/// first recorded sample becomes both min and max; a derived `Default`
+/// would zero them and silently corrupt `min()` for positive streams.
+impl Default for Distribution {
+    fn default() -> Self {
         Distribution {
             count: 0,
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
+    }
+}
+
+impl Distribution {
+    /// Creates an empty distribution (same state as [`Default`]).
+    pub fn new() -> Self {
+        Self::default()
     }
 
     /// Records a sample.
@@ -124,6 +140,425 @@ impl fmt::Display for Distribution {
     }
 }
 
+/// Number of histogram buckets: one for zero plus one per power of two.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram over `u64` samples.
+///
+/// Bucket 0 holds the value 0; bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i)`. Buckets are *fixed*, so merging two histograms is
+/// exact: the merge of two recordings equals the recording of the
+/// concatenated stream, bucket for bucket, with count and sum preserved
+/// (the sum is kept in a `u128` so it cannot saturate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index of a value.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Half-open value range `[lo, hi)` covered by a bucket (`hi` is
+    /// `u64::MAX` for the last bucket, which is closed at the top).
+    pub fn bucket_bounds(bucket: usize) -> (u64, u64) {
+        assert!(bucket < HISTOGRAM_BUCKETS, "bucket out of range");
+        match bucket {
+            0 => (0, 1),
+            64 => (1 << 63, u64::MAX),
+            b => (1 << (b - 1), 1 << b),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` occurrences of a sample.
+    #[inline]
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        self.counts[Self::bucket_of(value)] += n;
+        self.sum += value as u128 * n as u128;
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Exact sum of all recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// Count in one bucket.
+    pub fn bucket_count(&self, bucket: usize) -> u64 {
+        self.counts[bucket]
+    }
+
+    /// Per-bucket counts.
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.counts
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Merges another histogram into this one (exact: equivalent to
+    /// having recorded both streams into a single histogram).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+    }
+
+    /// An upper bound below which at least `fraction` of the samples
+    /// fall (bucket-granular; `None` when empty).
+    pub fn quantile_bound(&self, fraction: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let target = (count as f64 * fraction.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Self::bucket_bounds(i).1);
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={} mean={:.2}", self.count(), self.mean())
+    }
+}
+
+/// A registry of labeled counters and histograms with deterministic
+/// (lexicographic) iteration order, used to snapshot component metrics
+/// into reports and trace exports.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to a labeled counter, creating it at zero first.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += n;
+        } else {
+            self.counters.insert(name.to_string(), n);
+        }
+    }
+
+    /// Sets a labeled counter to an absolute value.
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Current value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a sample into a labeled histogram, creating it if needed.
+    pub fn record(&mut self, name: &str, value: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(value);
+        } else {
+            let mut h = Histogram::new();
+            h.record(value);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// A labeled histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Installs a pre-built histogram under a label (snapshotting a
+    /// component-owned histogram into the registry), merging into any
+    /// existing entry.
+    pub fn insert_histogram(&mut self, name: &str, hist: Histogram) {
+        if let Some(mine) = self.histograms.get_mut(name) {
+            mine.merge(&hist);
+        } else {
+            self.histograms.insert(name.to_string(), hist);
+        }
+    }
+
+    /// Counters in lexicographic label order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Histograms in lexicographic label order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merges another registry into this one (counters add, histograms
+    /// merge exactly).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, &v) in &other.counters {
+            self.add(k, v);
+        }
+        for (k, h) in &other.histograms {
+            if let Some(mine) = self.histograms.get_mut(k) {
+                mine.merge(h);
+            } else {
+                self.histograms.insert(k.clone(), h.clone());
+            }
+        }
+    }
+}
+
+/// One bin of the closed cycle accounting: where a worker-core cycle
+/// went. Every simulated cycle of every core lands in exactly one bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CycleBin {
+    /// Issue-limited useful compute.
+    Useful,
+    /// Worklist/scheduler operations (instructions, serialization, line
+    /// ping-pong, accelerator-call stalls).
+    Worklist,
+    /// Memory stalls on task data after MLP overlap.
+    Memory,
+    /// Atomic/fence serialization.
+    Fence,
+    /// Branch misprediction penalties.
+    Branch,
+    /// Idle polling while the worklist was momentarily empty, and
+    /// superstep load imbalance in BSP engines.
+    Idle,
+    /// Tail cycles between a core's last activity and the run's
+    /// makespan (cores that finished early).
+    Drain,
+}
+
+impl CycleBin {
+    /// All bins, in presentation order.
+    pub const ALL: [CycleBin; 7] = [
+        CycleBin::Useful,
+        CycleBin::Worklist,
+        CycleBin::Memory,
+        CycleBin::Fence,
+        CycleBin::Branch,
+        CycleBin::Idle,
+        CycleBin::Drain,
+    ];
+
+    /// Number of bins.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable lowercase label for reports and artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            CycleBin::Useful => "useful",
+            CycleBin::Worklist => "worklist",
+            CycleBin::Memory => "memory",
+            CycleBin::Fence => "fence",
+            CycleBin::Branch => "branch",
+            CycleBin::Idle => "idle",
+            CycleBin::Drain => "drain",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            CycleBin::Useful => 0,
+            CycleBin::Worklist => 1,
+            CycleBin::Memory => 2,
+            CycleBin::Fence => 3,
+            CycleBin::Branch => 4,
+            CycleBin::Idle => 5,
+            CycleBin::Drain => 6,
+        }
+    }
+}
+
+/// One core's cycle bins.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreBins {
+    bins: [u64; CycleBin::COUNT],
+}
+
+impl CoreBins {
+    /// Cycles in one bin.
+    pub fn get(&self, bin: CycleBin) -> u64 {
+        self.bins[bin.index()]
+    }
+
+    /// Adds cycles to a bin.
+    #[inline]
+    pub fn charge(&mut self, bin: CycleBin, cycles: u64) {
+        self.bins[bin.index()] += cycles;
+    }
+
+    /// Sum over all bins.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Adds another core's bins into this one (for cross-core rollups).
+    pub fn merge(&mut self, other: &CoreBins) {
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+    }
+}
+
+/// Closed per-core cycle accounting for one simulated run.
+///
+/// The executor charges every clock advance of every worker core to
+/// exactly one [`CycleBin`]; [`CycleAccounting::close`] then assigns
+/// each core's tail (makespan minus its final clock) to
+/// [`CycleBin::Drain`]. After closing, **each core's bins sum exactly
+/// to the run's makespan** — no cycle is lost or double-counted —
+/// which [`CycleAccounting::verify_closed`] checks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CycleAccounting {
+    cores: Vec<CoreBins>,
+    closed_to: Option<Cycle>,
+}
+
+impl CycleAccounting {
+    /// Zeroed accounting for `cores` worker cores.
+    pub fn new(cores: usize) -> Self {
+        CycleAccounting {
+            cores: vec![CoreBins::default(); cores],
+            closed_to: None,
+        }
+    }
+
+    /// Number of cores tracked.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// One core's bins.
+    pub fn core(&self, core: usize) -> &CoreBins {
+        &self.cores[core]
+    }
+
+    /// Charges cycles on one core to a bin.
+    #[inline]
+    pub fn charge(&mut self, core: usize, bin: CycleBin, cycles: u64) {
+        self.cores[core].charge(bin, cycles);
+    }
+
+    /// Sum of one bin across all cores.
+    pub fn bin_total(&self, bin: CycleBin) -> u64 {
+        self.cores.iter().map(|c| c.get(bin)).sum()
+    }
+
+    /// All cores' bins merged into one.
+    pub fn merged(&self) -> CoreBins {
+        let mut m = CoreBins::default();
+        for c in &self.cores {
+            m.merge(c);
+        }
+        m
+    }
+
+    /// The makespan this accounting was closed to, if any.
+    pub fn closed_to(&self) -> Option<Cycle> {
+        self.closed_to
+    }
+
+    /// Closes the books at `makespan`: each core's remaining cycles up
+    /// to the makespan land in [`CycleBin::Drain`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any core was charged beyond the makespan — that would
+    /// mean a cycle was double-counted upstream.
+    pub fn close(&mut self, makespan: Cycle) {
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            let busy = core.total();
+            assert!(
+                busy <= makespan,
+                "core {i} charged {busy} cycles past makespan {makespan}"
+            );
+            core.charge(CycleBin::Drain, makespan - busy);
+        }
+        self.closed_to = Some(makespan);
+    }
+
+    /// Checks the closed-accounting invariant: every core's bins sum
+    /// exactly to `makespan`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first core whose bins do not sum to
+    /// the makespan, or if the books were never closed.
+    pub fn verify_closed(&self, makespan: Cycle) -> Result<(), String> {
+        if self.closed_to != Some(makespan) {
+            return Err(format!(
+                "accounting closed to {:?}, expected {makespan}",
+                self.closed_to
+            ));
+        }
+        for (i, core) in self.cores.iter().enumerate() {
+            let total = core.total();
+            if total != makespan {
+                return Err(format!(
+                    "core {i}: bins sum to {total}, makespan is {makespan}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,5 +609,113 @@ mod tests {
         assert_eq!(format!("{d}"), "n=0");
         d.record(3.0);
         assert!(format!("{d}").contains("n=1"));
+    }
+
+    /// Regression: a derived `Default` would start min/max at 0.0, so a
+    /// first sample of 5.0 reported min=0.0. `Default` must match
+    /// `new()` (±∞ extremes) bit for bit.
+    #[test]
+    fn distribution_default_matches_new() {
+        let mut d = Distribution::default();
+        d.record(5.0);
+        assert_eq!(d.min(), Some(5.0));
+        assert_eq!(d.max(), Some(5.0));
+        assert_eq!(Distribution::default(), Distribution::new());
+    }
+
+    #[test]
+    fn histogram_buckets_values_by_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        for b in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(b);
+            assert_eq!(Histogram::bucket_of(lo), b);
+            if b < 64 {
+                assert_eq!(Histogram::bucket_of(hi), b + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        let samples = [0u64, 1, 1, 7, 8, 1000, u64::MAX];
+        let mut whole = Histogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        let (left, right) = samples.split_at(3);
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &s in left {
+            a.record(s);
+        }
+        for &s in right {
+            b.record(s);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(a.count(), samples.len() as u64);
+        assert_eq!(a.sum(), samples.iter().map(|&s| s as u128).sum());
+    }
+
+    #[test]
+    fn histogram_quantile_bound_brackets_samples() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile_bound(0.5), None);
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        // The p50 bucket bound must cover at least half the samples.
+        let p50 = h.quantile_bound(0.5).unwrap();
+        assert!((2..100).contains(&p50), "p50 bound {p50}");
+        assert_eq!(h.quantile_bound(1.0), Some(128));
+    }
+
+    #[test]
+    fn registry_is_deterministic_and_merges() {
+        let mut a = MetricsRegistry::new();
+        a.add("zeta", 2);
+        a.add("alpha", 1);
+        a.record("lat", 4);
+        let mut b = MetricsRegistry::new();
+        b.add("alpha", 10);
+        b.record("lat", 8);
+        b.record("depth", 1);
+        a.merge(&b);
+        let names: Vec<_> = a.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, ["alpha", "zeta"], "lexicographic order");
+        assert_eq!(a.counter("alpha"), 11);
+        assert_eq!(a.counter("missing"), 0);
+        assert_eq!(a.histogram("lat").unwrap().count(), 2);
+        assert_eq!(a.histogram("lat").unwrap().sum(), 12);
+        assert_eq!(a.histogram("depth").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn accounting_closes_every_cycle() {
+        let mut acct = CycleAccounting::new(2);
+        acct.charge(0, CycleBin::Useful, 70);
+        acct.charge(0, CycleBin::Memory, 30);
+        acct.charge(1, CycleBin::Worklist, 40);
+        assert!(acct.verify_closed(100).is_err(), "not yet closed");
+        acct.close(100);
+        acct.verify_closed(100).unwrap();
+        assert_eq!(acct.core(0).get(CycleBin::Drain), 0);
+        assert_eq!(acct.core(1).get(CycleBin::Drain), 60);
+        assert_eq!(acct.bin_total(CycleBin::Drain), 60);
+        assert_eq!(acct.merged().total(), 200);
+        assert!(acct.verify_closed(99).is_err(), "wrong makespan rejected");
+    }
+
+    #[test]
+    #[should_panic(expected = "past makespan")]
+    fn accounting_rejects_overcharged_core() {
+        let mut acct = CycleAccounting::new(1);
+        acct.charge(0, CycleBin::Useful, 10);
+        acct.close(5);
     }
 }

@@ -1,0 +1,372 @@
+//! Zero-cost-when-disabled structured tracing.
+//!
+//! Components hold a cloned [`Tracer`] handle and report events through
+//! [`Tracer::emit`], which takes a closure so that a *disabled* tracer
+//! costs one branch — no event is constructed, no allocation happens,
+//! and simulation results are bit-identical with tracing on or off
+//! (tracing only observes; it never feeds back into timing).
+//!
+//! Captured events export to Chrome `trace_event` JSON (loadable in
+//! Perfetto / `chrome://tracing`) via [`chrome_trace_json`]; the
+//! simulated cycle count is used directly as the trace timestamp.
+//! Emission is single-threaded per simulation, so for a fixed seed the
+//! event stream — and therefore the exported file — is deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::cycles::Cycle;
+
+/// Default cap on buffered events per tracer; later events are counted
+/// as dropped rather than buffered (bounds memory on huge runs).
+pub const DEFAULT_EVENT_CAP: usize = 4_000_000;
+
+/// Chrome `trace_event` phase of an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// A span with a duration (`ph: "X"`).
+    Complete,
+    /// A point-in-time marker (`ph: "i"`).
+    Instant,
+    /// A sampled counter value (`ph: "C"`).
+    Counter,
+}
+
+impl TracePhase {
+    /// The single-character phase code used in the JSON export.
+    pub fn code(self) -> &'static str {
+        match self {
+            TracePhase::Complete => "X",
+            TracePhase::Instant => "i",
+            TracePhase::Counter => "C",
+        }
+    }
+}
+
+/// One structured trace event.
+///
+/// Names and categories are `&'static str` so emission never allocates
+/// for the common fields; only `args` may allocate, and only when the
+/// tracer is enabled (events are built inside the [`Tracer::emit`]
+/// closure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name (`name` in the JSON export).
+    pub name: &'static str,
+    /// Event category (`cat`), used for filtering in the viewer.
+    pub cat: &'static str,
+    /// Phase (span / instant / counter).
+    pub phase: TracePhase,
+    /// Start timestamp in simulated cycles (`ts`).
+    pub ts: Cycle,
+    /// Duration in cycles (`dur`; 0 for instants and counters).
+    pub dur: Cycle,
+    /// Track id — the worker core (or engine) the event belongs to.
+    pub tid: u32,
+    /// Extra key/value arguments (`args`).
+    pub args: Vec<(&'static str, u64)>,
+}
+
+impl TraceEvent {
+    /// A span event covering `[ts, ts + dur)`.
+    pub fn complete(name: &'static str, cat: &'static str, tid: u32, ts: Cycle, dur: Cycle) -> Self {
+        TraceEvent {
+            name,
+            cat,
+            phase: TracePhase::Complete,
+            ts,
+            dur,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    /// An instant marker at `ts`.
+    pub fn instant(name: &'static str, cat: &'static str, tid: u32, ts: Cycle) -> Self {
+        TraceEvent {
+            name,
+            cat,
+            phase: TracePhase::Instant,
+            ts,
+            dur: 0,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    /// A counter sample: `value` is recorded under the arg key `"value"`.
+    pub fn counter(name: &'static str, cat: &'static str, tid: u32, ts: Cycle, value: u64) -> Self {
+        TraceEvent {
+            name,
+            cat,
+            phase: TracePhase::Counter,
+            ts,
+            dur: 0,
+            tid,
+            args: vec![("value", value)],
+        }
+    }
+
+    /// Adds one argument (builder style).
+    #[must_use]
+    pub fn with_arg(mut self, key: &'static str, value: u64) -> Self {
+        self.args.push((key, value));
+        self
+    }
+
+    /// Serializes this event as one Chrome `trace_event` JSON object
+    /// under process id `pid`.
+    pub fn to_chrome_json(&self, pid: u64) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},",
+            escape(self.name),
+            escape(self.cat),
+            self.phase.code(),
+            self.ts
+        );
+        if self.phase == TracePhase::Complete {
+            let _ = write!(s, "\"dur\":{},", self.dur);
+        }
+        if self.phase == TracePhase::Instant {
+            s.push_str("\"s\":\"t\",");
+        }
+        let _ = write!(s, "\"pid\":{pid},\"tid\":{},\"args\":{{", self.tid);
+        for (i, (k, v)) in self.args.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":{v}", escape(k));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[derive(Debug)]
+struct TraceSink {
+    events: Vec<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+/// A cloneable handle to a trace buffer — or to nothing.
+///
+/// The default handle is *disabled*: [`Tracer::emit`] evaluates a
+/// single `Option` branch and discards the closure unevaluated, so
+/// instrumentation on hot paths costs nothing when tracing is off.
+/// Enabled handles share one buffer across clones (the hierarchy, the
+/// executor, and the prefetch pipeline all write to the same stream).
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    sink: Option<Arc<Mutex<TraceSink>>>,
+}
+
+impl Tracer {
+    /// A disabled tracer (same as `Tracer::default()`).
+    pub fn disabled() -> Self {
+        Tracer { sink: None }
+    }
+
+    /// An enabled tracer with the default event cap.
+    pub fn enabled() -> Self {
+        Self::with_cap(DEFAULT_EVENT_CAP)
+    }
+
+    /// An enabled tracer that buffers at most `cap` events; further
+    /// events are counted in [`Tracer::dropped`] instead.
+    pub fn with_cap(cap: usize) -> Self {
+        Tracer {
+            sink: Some(Arc::new(Mutex::new(TraceSink {
+                events: Vec::new(),
+                cap,
+                dropped: 0,
+            }))),
+        }
+    }
+
+    /// Whether events are being captured.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records the event built by `f` — or, when disabled, does nothing
+    /// without evaluating `f`.
+    #[inline]
+    pub fn emit<F: FnOnce() -> TraceEvent>(&self, f: F) {
+        if let Some(sink) = &self.sink {
+            let mut sink = sink.lock().expect("trace sink poisoned");
+            if sink.events.len() < sink.cap {
+                let ev = f();
+                sink.events.push(ev);
+            } else {
+                sink.dropped += 1;
+            }
+        }
+    }
+
+    /// Number of buffered events so far (0 when disabled).
+    pub fn len(&self) -> usize {
+        self.sink
+            .as_ref()
+            .map_or(0, |s| s.lock().expect("trace sink poisoned").events.len())
+    }
+
+    /// Whether no events have been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events rejected by the cap.
+    pub fn dropped(&self) -> u64 {
+        self.sink
+            .as_ref()
+            .map_or(0, |s| s.lock().expect("trace sink poisoned").dropped)
+    }
+
+    /// Takes all buffered events, sorted by timestamp (stable, so
+    /// emission order breaks ties and the result is deterministic).
+    pub fn take_events(&self) -> Vec<TraceEvent> {
+        match &self.sink {
+            None => Vec::new(),
+            Some(s) => {
+                let mut events =
+                    std::mem::take(&mut s.lock().expect("trace sink poisoned").events);
+                events.sort_by_key(|e| e.ts);
+                events
+            }
+        }
+    }
+}
+
+/// Serializes events as a complete Chrome `trace_event` JSON document
+/// (object form, `traceEvents` array) for one process id.
+///
+/// Events are written in the order given; pass the output of
+/// [`Tracer::take_events`] for timestamp-sorted, deterministic output.
+pub fn chrome_trace_json(events: &[TraceEvent], pid: u64) -> String {
+    let mut s = String::with_capacity(64 + events.len() * 96);
+    s.push_str("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&ev.to_chrome_json(pid));
+    }
+    s.push_str("],\"displayTimeUnit\":\"ns\"}");
+    s
+}
+
+/// Counts events per `"cat/name"` key, in deterministic (sorted) order
+/// — the shape the trace-schema golden test pins.
+pub fn event_summary(events: &[TraceEvent]) -> BTreeMap<String, u64> {
+    let mut summary = BTreeMap::new();
+    for ev in events {
+        *summary
+            .entry(format!("{}/{}", ev.cat, ev.name))
+            .or_insert(0u64) += 1;
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_skips_closure() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.emit(|| unreachable!("closure must not run when disabled"));
+        assert!(t.is_empty());
+        assert!(t.take_events().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let t = Tracer::enabled();
+        let t2 = t.clone();
+        t.emit(|| TraceEvent::instant("a", "test", 0, 5));
+        t2.emit(|| TraceEvent::instant("b", "test", 1, 3));
+        assert_eq!(t.len(), 2);
+        let events = t.take_events();
+        assert_eq!(events[0].name, "b", "sorted by timestamp");
+        assert_eq!(events[1].name, "a");
+        assert!(t2.is_empty(), "take drains the shared buffer");
+    }
+
+    #[test]
+    fn cap_counts_dropped_events() {
+        let t = Tracer::with_cap(1);
+        t.emit(|| TraceEvent::instant("a", "test", 0, 0));
+        t.emit(|| TraceEvent::instant("b", "test", 0, 1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn chrome_json_shapes_by_phase() {
+        let x = TraceEvent::complete("task", "exec", 3, 10, 7).with_arg("task_id", 42);
+        let json = x.to_chrome_json(1);
+        assert_eq!(
+            json,
+            "{\"name\":\"task\",\"cat\":\"exec\",\"ph\":\"X\",\"ts\":10,\
+             \"dur\":7,\"pid\":1,\"tid\":3,\"args\":{\"task_id\":42}}"
+        );
+        let i = TraceEvent::instant("spill", "sched", 0, 4);
+        assert!(i.to_chrome_json(0).contains("\"ph\":\"i\",\"ts\":4,\"s\":\"t\""));
+        let c = TraceEvent::counter("dram_queue", "dram", 0, 9, 12);
+        assert!(c.to_chrome_json(0).contains("\"ph\":\"C\""));
+        assert!(c.to_chrome_json(0).contains("\"value\":12"));
+    }
+
+    #[test]
+    fn document_wraps_trace_events() {
+        let events = vec![
+            TraceEvent::instant("a", "t", 0, 0),
+            TraceEvent::instant("b", "t", 0, 1),
+        ];
+        let doc = chrome_trace_json(&events, 7);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.ends_with("],\"displayTimeUnit\":\"ns\"}"));
+        assert!(doc.contains("\"pid\":7"));
+    }
+
+    #[test]
+    fn summary_counts_by_cat_and_name() {
+        let events = vec![
+            TraceEvent::instant("a", "t", 0, 0),
+            TraceEvent::instant("a", "t", 1, 2),
+            TraceEvent::instant("b", "u", 0, 1),
+        ];
+        let s = event_summary(&events);
+        assert_eq!(s.get("t/a"), Some(&2));
+        assert_eq!(s.get("u/b"), Some(&1));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\u000ay");
+    }
+}

@@ -29,6 +29,7 @@ struct Args {
     scale: Option<f64>,
     seed: Option<u64>,
     stdout: bool,
+    trace_out: Option<String>,
 }
 
 const USAGE: &str = "\
@@ -46,6 +47,9 @@ options:
   --seed N        sweep seed; point seeds are derived from it
                   (default: MINNOW_BENCH_SEED or 42)
   --stdout        print the JSON-lines records instead of writing files
+  --trace-out F   capture structured traces and write a Chrome
+                  trace_event JSON (Perfetto-loadable) to F; simulation
+                  results and the JSONL artifact are unchanged
   --list          list sweep names and point counts, then exit
 ";
 
@@ -59,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         scale: None,
         seed: None,
         stdout: false,
+        trace_out: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -76,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
             "--scale" => args.scale = Some(value("--scale")?.parse().map_err(|e| format!("{e}"))?),
             "--seed" => args.seed = Some(value("--seed")?.parse().map_err(|e| format!("{e}"))?),
             "--stdout" => args.stdout = true,
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             other if !other.starts_with('-') && args.sweep.is_none() => {
                 args.sweep = Some(other.to_string())
             }
@@ -128,6 +134,7 @@ fn main() -> ExitCode {
         cfg.threads = threads;
     }
     cfg.filter = args.filter.clone();
+    cfg.trace = args.trace_out.is_some();
 
     let selected = sweep.selected(&cfg).len();
     if selected == 0 {
@@ -150,6 +157,25 @@ fn main() -> ExitCode {
 
     let result = run_sweep(&sweep, &cfg);
     let timed_out = result.points.iter().filter(|p| p.report.timed_out).count();
+
+    if let Some(path) = &args.trace_out {
+        let doc = result
+            .chrome_trace_json()
+            .expect("tracing was enabled, every point captured a trace");
+        let write = |p: &str, doc: &str| -> std::io::Result<()> {
+            if let Some(parent) = std::path::Path::new(p).parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            std::fs::write(p, doc)
+        };
+        if let Err(e) = write(path, &doc) {
+            eprintln!("error: writing trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote trace to {path} (load in https://ui.perfetto.dev)");
+    }
 
     if args.stdout {
         print!("{}", result.jsonl());

@@ -1,0 +1,122 @@
+//! Closed cycle-accounting invariant: for every workload and every
+//! executor configuration, the per-core cycle bins partition the run
+//! exactly — each core's seven bins sum to the makespan, so the merged
+//! bins sum to `makespan x cores` with no lost or double-counted
+//! cycles, and the reported [`Breakdown`] is the busy-bin projection of
+//! the same books.
+
+use minnow::algos::WorkloadKind;
+use minnow::bench::runner::{BenchRun, HwKind, SchedSpec};
+use minnow::sim::stats::CycleBin;
+
+const THREADS: usize = 4;
+const SCALE: f64 = 0.03;
+
+fn configs(kind: WorkloadKind) -> Vec<(&'static str, SchedSpec)> {
+    vec![
+        ("software", SchedSpec::Software(kind.build_policy())),
+        ("minnow", SchedSpec::Minnow { wdp_credits: None }),
+        (
+            "minnow-wdp",
+            SchedSpec::Minnow {
+                wdp_credits: Some(32),
+            },
+        ),
+        ("bsp", SchedSpec::Bsp(None)),
+    ]
+}
+
+fn assert_closed(label: &str, run: &BenchRun) {
+    let report = run.execute();
+    assert!(!report.timed_out, "{label}: timed out");
+    let acct = &report.accounting;
+    acct.verify_closed(report.makespan)
+        .unwrap_or_else(|e| panic!("{label}: accounting not closed: {e}"));
+    assert_eq!(
+        acct.cores(),
+        run.threads,
+        "{label}: one set of bins per core"
+    );
+    for core in 0..acct.cores() {
+        assert_eq!(
+            acct.core(core).total(),
+            report.makespan,
+            "{label}: core {core} bins must sum to the makespan"
+        );
+    }
+    let merged = acct.merged();
+    assert_eq!(
+        merged.total(),
+        report.makespan * run.threads as u64,
+        "{label}: merged bins must sum to makespan x cores"
+    );
+    // The Fig. 5 breakdown is derived from the same books: each busy
+    // component equals the corresponding bin total.
+    let b = report.breakdown;
+    for (component, bin) in [
+        (b.useful, CycleBin::Useful),
+        (b.worklist, CycleBin::Worklist),
+        (b.memory, CycleBin::Memory),
+        (b.fence, CycleBin::Fence),
+        (b.branch, CycleBin::Branch),
+    ] {
+        assert_eq!(
+            component,
+            acct.bin_total(bin),
+            "{label}: breakdown {} must equal the accounting bin",
+            bin.name()
+        );
+    }
+    assert!(report.tasks > 0, "{label}: ran no tasks");
+}
+
+#[test]
+fn every_workload_and_executor_closes_its_books() {
+    for kind in WorkloadKind::ALL {
+        for (name, sched) in configs(kind) {
+            let mut run = BenchRun::new(kind, THREADS, sched);
+            run.scale = SCALE;
+            assert_closed(&format!("{}/{name}", kind.name()), &run);
+        }
+    }
+}
+
+#[test]
+fn hardware_prefetcher_runs_close_their_books_too() {
+    for hw in [HwKind::Stride, HwKind::Imp] {
+        let mut run = BenchRun::new(
+            WorkloadKind::Bfs,
+            THREADS,
+            SchedSpec::MinnowWithHw(hw),
+        );
+        run.scale = SCALE;
+        assert_closed(&format!("BFS/hw-{hw:?}"), &run);
+    }
+}
+
+#[test]
+fn single_thread_accounting_closes() {
+    let mut run = BenchRun::software_default(WorkloadKind::Sssp, 1);
+    run.scale = SCALE;
+    assert_closed("SSSP/software-1t", &run);
+}
+
+#[test]
+fn bucketed_bsp_accounting_closes() {
+    let mut run = BenchRun::new(WorkloadKind::Sssp, THREADS, SchedSpec::Bsp(Some(2)));
+    run.scale = SCALE;
+    assert_closed("SSSP/bsp-b2", &run);
+}
+
+#[test]
+fn timed_out_runs_still_close() {
+    let mut run = BenchRun::minnow(WorkloadKind::Pr, 2);
+    run.scale = SCALE;
+    run.task_limit = 50;
+    let report = run.execute();
+    assert!(report.timed_out, "tiny task limit must trip the timeout");
+    report
+        .accounting
+        .verify_closed(report.makespan)
+        .expect("timeout path must close the books like any other exit");
+}

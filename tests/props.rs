@@ -11,6 +11,7 @@ use minnow::runtime::Task;
 use minnow::sim::cache::Cache;
 use minnow::sim::config::CacheParams;
 use minnow::sim::contend::GapTracker;
+use minnow::sim::stats::{CycleAccounting, CycleBin, Histogram};
 
 fn any_task() -> impl Strategy<Value = Task> {
     (0u64..1000, 0u32..500).prop_map(|(p, n)| Task::new(p, n))
@@ -247,6 +248,94 @@ proptest! {
         }
         prop_assert_eq!(pool.starvations(), denied);
         prop_assert_eq!(pool.consumed() - pool.returned(), outstanding as u64);
+    }
+
+    /// Splitting a value stream at any point and merging the two
+    /// histograms is exact: counts, sum, and every bucket match the
+    /// histogram that recorded the whole stream.
+    #[test]
+    fn histogram_merge_preserves_any_split(values in prop::collection::vec(any::<u64>(), 0..300),
+                                           cut in 0usize..300) {
+        let cut = cut.min(values.len());
+        let mut whole = Histogram::default();
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut left = Histogram::default();
+        for &v in &values[..cut] {
+            left.record(v);
+        }
+        let mut right = Histogram::default();
+        for &v in &values[cut..] {
+            right.record(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert_eq!(left.sum(), whole.sum());
+        prop_assert_eq!(left.count(), values.len() as u64);
+        prop_assert_eq!(left.sum(), values.iter().map(|&v| u128::from(v)).sum::<u128>());
+        for bucket in 0..minnow::sim::stats::HISTOGRAM_BUCKETS {
+            prop_assert_eq!(left.bucket_count(bucket), whole.bucket_count(bucket),
+                "bucket {} diverged after merge", bucket);
+        }
+    }
+
+    /// Histogram merge is associative: (a + b) + c == a + (b + c).
+    #[test]
+    fn histogram_merge_is_associative(a in prop::collection::vec(any::<u64>(), 0..100),
+                                      b in prop::collection::vec(any::<u64>(), 0..100),
+                                      c in prop::collection::vec(any::<u64>(), 0..100)) {
+        let build = |vs: &[u64]| {
+            let mut h = Histogram::default();
+            for &v in vs {
+                h.record(v);
+            }
+            h
+        };
+        let mut left = build(&a);
+        left.merge(&build(&b));
+        left.merge(&build(&c));
+        let mut bc = build(&b);
+        bc.merge(&build(&c));
+        let mut right = build(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.sum(), right.sum());
+        for bucket in 0..minnow::sim::stats::HISTOGRAM_BUCKETS {
+            prop_assert_eq!(left.bucket_count(bucket), right.bucket_count(bucket));
+        }
+    }
+
+    /// Cycle-bin accumulation commutes: charging the same multiset of
+    /// (core, bin, cycles) in any order yields identical books, and
+    /// closing distributes the identical drain.
+    #[test]
+    fn cycle_accounting_is_order_independent(
+        cores in 1usize..8,
+        charges in prop::collection::vec((0usize..8, 0usize..5, 0u64..1000), 0..200),
+    ) {
+        let charge_all = |acct: &mut CycleAccounting, order: &[(usize, usize, u64)]| {
+            for &(core, bin, cycles) in order {
+                acct.charge(core % cores, CycleBin::ALL[bin], cycles);
+            }
+        };
+        let mut forward = CycleAccounting::new(cores);
+        charge_all(&mut forward, &charges);
+        let mut reversed = CycleAccounting::new(cores);
+        let back: Vec<_> = charges.iter().rev().copied().collect();
+        charge_all(&mut reversed, &back);
+        let makespan = (0..cores).map(|c| forward.core(c).total()).max().unwrap_or(0);
+        forward.close(makespan);
+        reversed.close(makespan);
+        prop_assert!(forward.verify_closed(makespan).is_ok());
+        for core in 0..cores {
+            for bin in CycleBin::ALL {
+                prop_assert_eq!(forward.core(core).get(bin), reversed.core(core).get(bin),
+                    "core {} bin {} depends on charge order", core, bin.name());
+            }
+            prop_assert_eq!(forward.core(core).total(), makespan);
+        }
+        prop_assert_eq!(forward.merged().total(), makespan * cores as u64);
     }
 
     /// CSR construction round-trips an arbitrary edge list.

@@ -66,6 +66,57 @@ fn filtered_subset_matches_the_full_run() {
 }
 
 #[test]
+fn tracing_never_changes_the_artifact() {
+    let sweep = Sweep::smoke(&tiny_params());
+    let plain = run_sweep(&sweep, &SweepConfig::serial());
+    let traced = run_sweep(&sweep, &SweepConfig::serial().with_trace());
+    assert_eq!(
+        plain.jsonl(),
+        traced.jsonl(),
+        "--trace-out must leave the JSON-lines artifact byte-identical"
+    );
+    assert_eq!(
+        plain.breakdown_jsonl(),
+        traced.breakdown_jsonl(),
+        "the cycle-accounting artifact must not depend on tracing"
+    );
+    assert!(
+        plain.chrome_trace_json().is_none(),
+        "untraced sweeps export no trace document"
+    );
+    // The trace itself is deterministic for a fixed seed.
+    let again = run_sweep(&sweep, &SweepConfig::serial().with_trace());
+    assert_eq!(
+        traced.chrome_trace_json(),
+        again.chrome_trace_json(),
+        "trace export must be deterministic run-to-run"
+    );
+    assert!(traced.chrome_trace_json().is_some());
+}
+
+#[test]
+fn breakdown_rows_are_closed() {
+    let sweep = Sweep::smoke(&tiny_params());
+    let result = run_sweep(&sweep, &SweepConfig::serial());
+    for point in &result.points {
+        point
+            .report
+            .accounting
+            .verify_closed(point.report.makespan)
+            .unwrap_or_else(|e| panic!("{}: {e}", point.id));
+    }
+    // And the textual table reflects that: every artifact line exists.
+    let table = result.breakdown_table();
+    for point in &result.points {
+        assert!(
+            table.contains(&point.id),
+            "breakdown table is missing {}",
+            point.id
+        );
+    }
+}
+
+#[test]
 fn parallel_pool_speeds_up_the_sweep() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     if cores < 4 {
