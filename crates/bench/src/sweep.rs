@@ -105,6 +105,9 @@ pub struct Sweep {
     pub points: Vec<SweepPoint>,
 }
 
+/// Schema identifier stamped into [`SweepResult::bench_json`] documents.
+pub const BENCH_SCHEMA: &str = "minnow-bench-wallclock/v1";
+
 /// Prefetch-credit axis shared by the Fig. 18-20 sweeps (union of the
 /// figures' individual axes).
 pub const CREDIT_AXIS: [u32; 7] = [1, 8, 16, 32, 64, 128, 256];
@@ -367,6 +370,9 @@ pub struct PointResult {
     /// Captured trace events (timestamp-sorted), when the sweep ran
     /// with [`SweepConfig::trace`].
     pub trace: Option<Vec<TraceEvent>>,
+    /// Host wall-clock time this point took to simulate (volatile: never
+    /// part of the JSONL record, only of [`SweepResult::bench_json`]).
+    pub wall: Duration,
 }
 
 /// All results of one sweep execution, in enumeration order.
@@ -409,6 +415,7 @@ pub fn run_sweep(sweep: &Sweep, cfg: &SweepConfig) -> SweepResult {
             s.spawn(move |_| {
                 while let Some(slot) = next_task(&local, injector, stealers) {
                     let point = selected[slot];
+                    let p0 = Instant::now();
                     let (report, trace) = if cfg.trace {
                         // Each point gets a private buffer, so pool
                         // interleaving never mixes event streams.
@@ -423,6 +430,7 @@ pub fn run_sweep(sweep: &Sweep, cfg: &SweepConfig) -> SweepResult {
                         run: point.run.clone(),
                         report,
                         trace,
+                        wall: p0.elapsed(),
                     };
                     slots.lock().unwrap_or_else(|e| e.into_inner())[slot] = Some(result);
                 }
@@ -573,6 +581,62 @@ impl SweepResult {
             out.push_str(&format!(" {:>12}\n", point.report.makespan));
         }
         out
+    }
+
+    /// The host wall-clock benchmark document (`BENCH_<sweep>.json`):
+    /// per-point simulation wall time plus derived simulator-throughput
+    /// rates (simulated tasks and memory accesses retired per host
+    /// second). Everything here is *volatile* by nature — it measures the
+    /// machine running the simulator, not the simulated machine — which
+    /// is why it lives in its own document and never touches the
+    /// byte-frozen JSONL artifact.
+    pub fn bench_json(&self) -> String {
+        let rate = |n: u64, wall: Duration| {
+            let secs = wall.as_secs_f64();
+            if secs > 0.0 {
+                n as f64 / secs
+            } else {
+                0.0
+            }
+        };
+        let points = crate::json::array(self.points.iter().map(|p| {
+            JsonObject::new()
+                .str("id", &p.id)
+                .u64("wall_us", p.wall.as_micros() as u64)
+                .u64("tasks", p.report.tasks)
+                .u64("mem_accesses", p.report.mem_accesses)
+                .u64("makespan", p.report.makespan)
+                .f64("tasks_per_sec", rate(p.report.tasks, p.wall))
+                .f64("accesses_per_sec", rate(p.report.mem_accesses, p.wall))
+                .finish()
+        }));
+        let tasks: u64 = self.points.iter().map(|p| p.report.tasks).sum();
+        let accesses: u64 = self.points.iter().map(|p| p.report.mem_accesses).sum();
+        JsonObject::new()
+            .str("schema", BENCH_SCHEMA)
+            .str("sweep", &self.sweep)
+            .u64("pool_threads", self.pool_threads as u64)
+            .u64("wall_ms", self.wall.as_millis() as u64)
+            .u64("total_tasks", tasks)
+            .u64("total_mem_accesses", accesses)
+            .f64("tasks_per_sec", {
+                let secs = self.wall.as_secs_f64();
+                if secs > 0.0 {
+                    tasks as f64 / secs
+                } else {
+                    0.0
+                }
+            })
+            .f64("accesses_per_sec", {
+                let secs = self.wall.as_secs_f64();
+                if secs > 0.0 {
+                    accesses as f64 / secs
+                } else {
+                    0.0
+                }
+            })
+            .raw("points", &points)
+            .finish()
     }
 
     /// Merges every captured point trace into one Chrome `trace_event`

@@ -16,13 +16,14 @@
 use std::collections::{BTreeMap, HashMap};
 
 use minnow_sim::config::SimConfig;
-use minnow_sim::core::{CoreMode, CoreModel, TaskTrace};
+use minnow_sim::core::{CoreMode, CoreModel};
 use minnow_sim::cycles::Cycle;
-use minnow_sim::hierarchy::{AccessKind, CacheLevel, MemoryHierarchy};
+use minnow_sim::hierarchy::MemoryHierarchy;
 use minnow_sim::stats::{CycleAccounting, CycleBin};
 use minnow_sim::trace::{TraceEvent, Tracer};
 
-use crate::op::{Operator, TaskCtx};
+use crate::op::Operator;
+use crate::scratch::{charge_task, ChargeCounters, TaskScratch};
 use crate::sim_exec::{Breakdown, RunReport};
 use crate::task::Task;
 
@@ -118,6 +119,8 @@ pub fn run_bsp(op: &mut dyn Operator, cfg: &BspConfig) -> RunReport {
         accounting: CycleAccounting::new(0),
     };
     let mut now: Cycle = 0;
+    let mut scratch = TaskScratch::new(map, cfg.serial_baseline);
+    let mut counters = ChargeCounters::default();
 
     while let Some((&bucket, _)) = buckets.iter().next() {
         // One full kernel execution drains this bucket to convergence.
@@ -126,6 +129,8 @@ pub fn run_bsp(op: &mut dyn Operator, cfg: &BspConfig) -> RunReport {
             if report.supersteps >= cfg.superstep_limit {
                 report.timed_out = true;
                 report.makespan = now;
+                report.delinquent_loads = counters.delinquent_loads;
+                report.total_loads = counters.total_loads;
                 return finish(report, &mut mem, cfg.threads, accounting);
             }
             report.supersteps += 1;
@@ -140,43 +145,27 @@ pub fn run_bsp(op: &mut dyn Operator, cfg: &BspConfig) -> RunReport {
             let mut next: HashMap<u32, Task> = HashMap::new();
             for (i, task) in frontier.iter().enumerate() {
                 let thread = i % cfg.threads;
-                let mut ctx = TaskCtx::new(map, cfg.serial_baseline);
-                op.execute(*task, &mut ctx);
+                scratch.begin_task();
+                op.execute(*task, &mut scratch.ctx);
                 // GraphMat's vertex-program overhead per active node.
-                ctx.add_instrs(8);
+                scratch.ctx.add_instrs(8);
 
-                let mut delinquent = Vec::new();
                 let t0 = clocks[thread];
-                let mut first_touch_loads = 0u64;
-                for (k, acc) in ctx.accesses().iter().enumerate() {
-                    let res = mem.access(thread, acc.addr, acc.kind, t0 + 2 * k as Cycle);
-                    if acc.kind == AccessKind::Load {
-                        first_touch_loads += u64::from(acc.first_touch);
-                    }
-                    if acc.first_touch && res.level > CacheLevel::L1 {
-                        delinquent.push(res.latency);
-                        if acc.kind == AccessKind::Load {
-                            report.delinquent_loads += 1;
-                        }
-                    }
-                }
-                report.total_loads += first_touch_loads + ctx.other_loads();
-
-                let trace = TaskTrace {
-                    instructions: ctx.instrs().max(1),
-                    branches: ctx.branches(),
-                    atomics: ctx.atomics(),
-                    delinquent_latencies: delinquent,
-                    other_loads: ctx.other_loads(),
-                    stores: ctx.stores(),
-                };
-                let cycles = core_model.task_cycles(&trace);
+                let cycles = charge_task(
+                    &mut scratch,
+                    &mut mem,
+                    &core_model,
+                    thread,
+                    t0,
+                    &mut None,
+                    &mut counters,
+                );
                 clocks[thread] += cycles.total();
                 accounting.charge(thread, CycleBin::Useful, cycles.compute);
                 accounting.charge(thread, CycleBin::Memory, cycles.memory);
                 accounting.charge(thread, CycleBin::Fence, cycles.fence);
                 accounting.charge(thread, CycleBin::Branch, cycles.branch);
-                report.instructions += ctx.instrs();
+                report.instructions += scratch.ctx.instrs();
                 report.tasks += 1;
                 tracer.emit(|| {
                     TraceEvent::complete("execute", "task", thread as u32, t0, cycles.total())
@@ -186,7 +175,8 @@ pub fn run_bsp(op: &mut dyn Operator, cfg: &BspConfig) -> RunReport {
                         .with_arg("branch", cycles.branch)
                 });
 
-                for pushed in ctx.take_pushes() {
+                for p in 0..scratch.ctx.pushes().len() {
+                    let pushed = scratch.ctx.pushes()[p];
                     let b = bucket_of(&pushed);
                     if b <= bucket {
                         // Same (or more urgent, clamped) bucket: next sweep
@@ -221,6 +211,8 @@ pub fn run_bsp(op: &mut dyn Operator, cfg: &BspConfig) -> RunReport {
     }
 
     report.makespan = now;
+    report.delinquent_loads = counters.delinquent_loads;
+    report.total_loads = counters.total_loads;
     finish(report, &mut mem, cfg.threads, accounting)
 }
 
@@ -253,7 +245,7 @@ fn finish(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::op::PrefetchKind;
+    use crate::op::{PrefetchKind, TaskCtx};
     use crate::worklist::PolicyKind;
     use minnow_graph::gen::grid::{self, GridConfig};
     use minnow_graph::Csr;

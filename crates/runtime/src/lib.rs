@@ -46,6 +46,7 @@ pub mod bsp;
 pub mod op;
 pub mod par;
 pub mod sched;
+pub mod scratch;
 pub mod sim_exec;
 pub mod split;
 pub mod task;

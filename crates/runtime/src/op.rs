@@ -12,8 +12,9 @@
 //! *delinquent-load candidate* (it typically misses); repeated touches and
 //! stack/spill traffic are ordinary loads.
 
-use std::collections::HashSet;
 use std::sync::Arc;
+
+use fxhash::FxHashSet;
 
 use minnow_graph::{AddressMap, Csr, NodeId};
 use minnow_sim::hierarchy::AccessKind;
@@ -60,7 +61,7 @@ pub enum PrefetchKind {
 pub struct TaskCtx {
     map: AddressMap,
     accesses: Vec<Recorded>,
-    seen_lines: HashSet<u64>,
+    seen_lines: FxHashSet<u64>,
     instrs: u64,
     branches: u64,
     atomics: u64,
@@ -78,7 +79,7 @@ impl TaskCtx {
         TaskCtx {
             map,
             accesses: Vec::with_capacity(16),
-            seen_lines: HashSet::with_capacity(16),
+            seen_lines: FxHashSet::with_capacity_and_hasher(16, Default::default()),
             instrs: 0,
             branches: 0,
             atomics: 0,
@@ -89,11 +90,26 @@ impl TaskCtx {
         }
     }
 
+    /// Clears every recording for the next task while keeping all buffer
+    /// allocations, so one `TaskCtx` can serve an entire run without
+    /// heap traffic. The address map and baseline mode are retained.
+    pub fn reset(&mut self) {
+        self.accesses.clear();
+        self.seen_lines.clear();
+        self.instrs = 0;
+        self.branches = 0;
+        self.atomics = 0;
+        self.stores = 0;
+        self.secondary_loads = 0;
+        self.pushes.clear();
+    }
+
     /// The address map in use.
     pub fn map(&self) -> &AddressMap {
         &self.map
     }
 
+    #[inline]
     fn record(&mut self, addr: u64, kind: AccessKind, value: Option<u64>) {
         let line = addr >> 6;
         let first = self.seen_lines.insert(line);
@@ -119,11 +135,13 @@ impl TaskCtx {
     }
 
     /// Records a load of node `v`'s record.
+    #[inline]
     pub fn load_node(&mut self, v: NodeId) {
         self.record(self.map.node_addr(v), AccessKind::Load, None);
     }
 
     /// Records a store to node `v`'s record.
+    #[inline]
     pub fn store_node(&mut self, v: NodeId) {
         self.stores += 1;
         self.record(self.map.node_addr(v), AccessKind::Store, None);
@@ -131,6 +149,7 @@ impl TaskCtx {
 
     /// Records an atomic read-modify-write on node `v`'s record
     /// (compare-and-swap label/distance updates, fetch-add residuals).
+    #[inline]
     pub fn atomic_node(&mut self, v: NodeId) {
         if self.count_atomics_as_stores {
             self.store_node(v);
@@ -142,27 +161,32 @@ impl TaskCtx {
 
     /// Records a load of CSR edge slot `e` whose destination is `dst`
     /// (the loaded value, visible to indirect hardware prefetchers).
+    #[inline]
     pub fn load_edge(&mut self, e: usize, dst: NodeId) {
         self.record(self.map.edge_addr(e), AccessKind::Load, Some(dst as u64));
     }
 
     /// Adds `n` dynamic instructions of plain compute.
+    #[inline]
     pub fn add_instrs(&mut self, n: u64) {
         self.instrs += n;
     }
 
     /// Adds `n` data-dependent branches (compare against loaded values).
+    #[inline]
     pub fn add_branches(&mut self, n: u64) {
         self.branches += n;
         self.instrs += n;
     }
 
     /// Pushes a follow-up task.
+    #[inline]
     pub fn push(&mut self, task: Task) {
         self.pushes.push(task);
     }
 
     /// Recorded accesses in program order.
+    #[inline]
     pub fn accesses(&self) -> &[Recorded] {
         &self.accesses
     }
@@ -178,27 +202,32 @@ impl TaskCtx {
     }
 
     /// Total dynamic instructions recorded.
+    #[inline]
     pub fn instrs(&self) -> u64 {
         self.instrs
     }
 
     /// Data-dependent branches recorded.
+    #[inline]
     pub fn branches(&self) -> u64 {
         self.branches
     }
 
     /// Atomics recorded.
+    #[inline]
     pub fn atomics(&self) -> u64 {
         self.atomics
     }
 
     /// Plain stores recorded.
+    #[inline]
     pub fn stores(&self) -> u64 {
         self.stores
     }
 
     /// Ordinary (non-delinquent) loads: secondary graph touches plus
     /// stack/spill traffic derived from the instruction count.
+    #[inline]
     pub fn other_loads(&self) -> u64 {
         self.secondary_loads + self.instrs * STACK_LOADS_PER_INSTR_NUM / STACK_LOADS_PER_INSTR_DEN
     }

@@ -19,17 +19,21 @@
 //! breakdown; the scheduler stats reproduce Fig. 11; the hierarchy stats
 //! reproduce Fig. 18/20.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use minnow_sim::config::SimConfig;
-use minnow_sim::core::{CoreMode, CoreModel, TaskTrace};
+use minnow_sim::core::{CoreMode, CoreModel};
 use minnow_sim::cycles::Cycle;
-use minnow_sim::hierarchy::{AccessKind, CacheLevel, MemoryHierarchy};
+use minnow_sim::hierarchy::MemoryHierarchy;
 use minnow_sim::observer::{HwPrefetcher, MemoryImage};
 use minnow_sim::stats::{CycleAccounting, CycleBin};
 use minnow_sim::trace::TraceEvent;
 
-use crate::op::{Operator, TaskCtx};
+use crate::op::Operator;
 use crate::sched::{SchedStats, SchedulerModel, SoftwareScheduler};
-use crate::split::split_task;
+use crate::scratch::{charge_task, ChargeCounters, TaskScratch};
+use crate::split::split_task_into;
 use crate::worklist::PolicyKind;
 
 /// Executor configuration.
@@ -225,6 +229,18 @@ pub fn run_with_prefetcher(
     let tracer = mem.tracer().clone();
     let mut accounting = CycleAccounting::new(cfg.threads);
     let mut clock = vec![0 as Cycle; cfg.threads];
+    // Index min-heap over thread clocks, keyed `(clock, thread-id)`. The
+    // previous linear scan chose the smallest clock with a strict `<`
+    // compare, i.e. the lowest thread id among tied minima — exactly the
+    // order a `(clock, tid)` min-heap pops, so the linearization (and every
+    // simulated cycle) is unchanged. Each thread is in the heap exactly
+    // once; the capacity never grows past `threads`.
+    let mut ready: BinaryHeap<Reverse<(Cycle, usize)>> = BinaryHeap::with_capacity(cfg.threads);
+    for t in 0..cfg.threads {
+        ready.push(Reverse((0, t)));
+    }
+    let mut scratch = TaskScratch::new(map, cfg.serial_baseline);
+    let mut counters = ChargeCounters::default();
     let mut report = RunReport {
         makespan: 0,
         tasks: 0,
@@ -244,13 +260,8 @@ pub fn run_with_prefetcher(
 
     'outer: loop {
         // Advance the thread with the smallest clock.
-        let mut idx = 0;
-        for t in 1..cfg.threads {
-            if clock[t] < clock[idx] {
-                idx = t;
-            }
-        }
-        let now = clock[idx];
+        let Reverse((now, idx)) = ready.pop().expect("one entry per thread");
+        debug_assert_eq!(now, clock[idx]);
         sched.tick(now, mem);
 
         let deq = sched.dequeue(idx, now, mem);
@@ -268,6 +279,7 @@ pub fn run_with_prefetcher(
                 TraceEvent::complete("poll", "sched", idx as u32, clock[idx], cfg.poll_interval)
             });
             clock[idx] += cfg.poll_interval;
+            ready.push(Reverse((clock[idx], idx)));
             continue;
         };
         tracer.emit(|| {
@@ -276,46 +288,26 @@ pub fn run_with_prefetcher(
         });
 
         // ---- execute the task functionally, recording its trace ----
-        let mut ctx = TaskCtx::new(map, cfg.serial_baseline);
-        op.execute(task, &mut ctx);
+        scratch.begin_task();
+        op.execute(task, &mut scratch.ctx);
 
         // ---- charge recorded accesses against the hierarchy ----
-        let mut delinquent = Vec::new();
         let t0 = clock[idx];
-        let mut first_touch_loads = 0u64;
-        for (k, acc) in ctx.accesses().iter().enumerate() {
-            let at = t0 + 2 * k as Cycle;
-            let res = mem.access(idx, acc.addr, acc.kind, at);
-            if acc.kind == AccessKind::Load {
-                first_touch_loads += u64::from(acc.first_touch);
-                if let Some((hw, image)) = hw_prefetcher.as_mut() {
-                    hw.on_demand_load(idx, acc.addr, acc.value, at, mem, *image);
-                }
-            }
-            if acc.first_touch && res.level > CacheLevel::L1 {
-                delinquent.push(res.latency);
-                if acc.kind == AccessKind::Load {
-                    report.delinquent_loads += 1;
-                }
-            }
-        }
-        report.total_loads += first_touch_loads + ctx.other_loads();
-
-        let trace = TaskTrace {
-            instructions: ctx.instrs().max(1),
-            branches: ctx.branches(),
-            atomics: ctx.atomics(),
-            delinquent_latencies: delinquent,
-            other_loads: ctx.other_loads(),
-            stores: ctx.stores(),
-        };
-        let cycles = core_model.task_cycles(&trace);
+        let cycles = charge_task(
+            &mut scratch,
+            mem,
+            &core_model,
+            idx,
+            t0,
+            &mut hw_prefetcher,
+            &mut counters,
+        );
         clock[idx] += cycles.total();
         accounting.charge(idx, CycleBin::Useful, cycles.compute);
         accounting.charge(idx, CycleBin::Memory, cycles.memory);
         accounting.charge(idx, CycleBin::Fence, cycles.fence);
         accounting.charge(idx, CycleBin::Branch, cycles.branch);
-        report.instructions += ctx.instrs();
+        report.instructions += scratch.ctx.instrs();
         tracer.emit(|| {
             TraceEvent::complete("execute", "task", idx as u32, t0, cycles.total())
                 .with_arg("node", task.node as u64)
@@ -325,15 +317,18 @@ pub fn run_with_prefetcher(
         });
 
         // ---- enqueue follow-up tasks (with splitting) ----
-        for pushed in ctx.take_pushes() {
-            let parts = match split_threshold {
+        for p in 0..scratch.ctx.pushes().len() {
+            let pushed = scratch.ctx.pushes()[p];
+            scratch.parts.clear();
+            match split_threshold {
                 Some(th) => {
                     let degree = graph.out_degree(pushed.node);
-                    split_task(pushed, degree, th)
+                    split_task_into(pushed, degree, th, &mut scratch.parts);
                 }
-                None => vec![pushed],
-            };
-            for part in parts {
+                None => scratch.parts.push(pushed),
+            }
+            for i in 0..scratch.parts.len() {
+                let part = scratch.parts[i];
                 let at = clock[idx];
                 let cost = sched.enqueue(idx, part, at, mem);
                 clock[idx] += cost;
@@ -354,8 +349,11 @@ pub fn run_with_prefetcher(
             report.timed_out = true;
             break 'outer;
         }
+        ready.push(Reverse((clock[idx], idx)));
     }
 
+    report.delinquent_loads = counters.delinquent_loads;
+    report.total_loads = counters.total_loads;
     report.makespan = clock.iter().copied().max().unwrap_or(0);
     accounting.close(report.makespan);
     report.breakdown = Breakdown {
@@ -397,7 +395,7 @@ pub fn serial_baseline_cycles(op: &mut dyn Operator, policy: PolicyKind) -> Cycl
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::op::PrefetchKind;
+    use crate::op::{PrefetchKind, TaskCtx};
     use crate::task::Task;
     use minnow_graph::gen::grid::{self, GridConfig};
     use minnow_graph::Csr;

@@ -18,13 +18,27 @@ pub const PAPER_SPLIT_THRESHOLD: u32 = 10_000;
 ///
 /// Panics if `threshold == 0`.
 pub fn split_task(task: Task, degree: usize, threshold: u32) -> Vec<Task> {
+    let mut out = Vec::new();
+    split_task_into(task, degree, threshold, &mut out);
+    out
+}
+
+/// [`split_task`] appending into a caller-owned buffer, so the executor's
+/// enqueue loop can reuse one allocation across every task of a run. The
+/// buffer is *not* cleared — callers clear it between tasks.
+///
+/// # Panics
+///
+/// Panics if `threshold == 0`.
+pub fn split_task_into(task: Task, degree: usize, threshold: u32, out: &mut Vec<Task>) {
     assert!(threshold > 0, "split threshold must be positive");
     let range = task.resolve_range(degree);
     let span = range.len() as u32;
     if span <= threshold {
-        return vec![task];
+        out.push(task);
+        return;
     }
-    let mut out = Vec::with_capacity(span.div_ceil(threshold) as usize);
+    out.reserve(span.div_ceil(threshold) as usize);
     let mut lo = range.start as u32;
     let hi = range.end as u32;
     while lo < hi {
@@ -38,7 +52,6 @@ pub fn split_task(task: Task, degree: usize, threshold: u32) -> Vec<Task> {
         out.push(Task::with_range(task.priority, task.node, lo, enc_hi));
         lo = next;
     }
-    out
 }
 
 #[cfg(test)]

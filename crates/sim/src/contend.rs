@@ -50,9 +50,26 @@ impl GapTracker {
         if duration == 0 {
             return now;
         }
+        // Intervals are non-overlapping with both starts and ends strictly
+        // increasing (each insert lands in a gap), so an interval ending at
+        // or before `now` can neither host this reservation (its successor
+        // would have to start >= now + duration > its own end) nor raise
+        // `begin` above `now`. Binary-search past them instead of scanning:
+        // in steady state almost the whole window is history.
+        let mut lo = 0usize;
+        let mut hi = self.busy.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.busy[mid].1 <= now {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
         let mut begin = now;
         let mut insert_at = self.busy.len();
-        for (i, &(s, e)) in self.busy.iter().enumerate() {
+        for i in lo..self.busy.len() {
+            let (s, e) = self.busy[i];
             if begin + duration <= s {
                 insert_at = i;
                 break;

@@ -12,7 +12,7 @@
 //! does this access take starting at cycle `now`, and what happened in the
 //! caches", leaving instruction-level overlap to [`crate::core`].
 
-use std::collections::HashMap;
+use fxhash::FxMap64;
 
 use crate::cache::Cache;
 use crate::config::SimConfig;
@@ -37,6 +37,7 @@ pub enum AccessKind {
 
 impl AccessKind {
     /// Whether the access writes the line.
+    #[inline]
     pub fn is_write(self) -> bool {
         matches!(self, AccessKind::Store | AccessKind::Atomic)
     }
@@ -109,14 +110,21 @@ pub struct MemoryHierarchy {
     l2_latency: Cycle,
     l3_latency: Cycle,
     cores: usize,
+    /// Shared `log2(line_bytes)` of every cache level: all levels use one
+    /// line size, so a demand address is decomposed to its line address
+    /// exactly once and the parts flow down L1→L2→L3 (see
+    /// [`crate::cache::AddrParts`]).
+    line_shift: u32,
     /// Directory: line address -> bitmask of cores with a private copy.
-    directory: HashMap<u64, u64>,
+    /// Point-access only (never iterated), so the deterministic
+    /// open-addressed map is observationally identical to a `HashMap`.
+    directory: FxMap64<u64>,
     /// Prefetch credits freed since the last drain (demand consumption,
     /// eviction, or remote invalidation of a marked line), per core.
     pending_credits: Vec<u64>,
     /// Arrival times of in-flight prefetches: a demand access that consumes
     /// a marked line before its fill has arrived stalls until it does.
-    prefetch_ready: Vec<HashMap<u64, Cycle>>,
+    prefetch_ready: Vec<FxMap64<Cycle>>,
     /// Marked lines lost to remote-write invalidations (vs capacity
     /// evictions), for prefetch-efficiency diagnosis.
     prefetch_invalidated: u64,
@@ -135,6 +143,10 @@ impl MemoryHierarchy {
     /// 64-bit sharer mask, matching the paper's 64-core machine).
     pub fn new(cfg: &SimConfig) -> Self {
         assert!(cfg.cores > 0 && cfg.cores <= 64, "1..=64 cores supported");
+        assert!(
+            cfg.l1d.line_bytes == cfg.l2.line_bytes && cfg.l2.line_bytes == cfg.l3.line_bytes,
+            "all cache levels must share one line size"
+        );
         MemoryHierarchy {
             l1: (0..cfg.cores).map(|_| Cache::new(cfg.l1d)).collect(),
             l2: (0..cfg.cores).map(|_| Cache::new(cfg.l2)).collect(),
@@ -145,9 +157,10 @@ impl MemoryHierarchy {
             l2_latency: cfg.l2.latency,
             l3_latency: cfg.l3.latency,
             cores: cfg.cores,
-            directory: HashMap::new(),
+            line_shift: cfg.l1d.line_bytes.trailing_zeros(),
+            directory: FxMap64::new(),
             pending_credits: vec![0; cfg.cores],
-            prefetch_ready: vec![HashMap::new(); cfg.cores],
+            prefetch_ready: vec![FxMap64::new(); cfg.cores],
             prefetch_invalidated: 0,
             core_stats: vec![CoreMemStats::default(); cfg.cores],
             tracer: Tracer::disabled(),
@@ -180,25 +193,28 @@ impl MemoryHierarchy {
     pub fn access(&mut self, core: usize, addr: u64, kind: AccessKind, now: Cycle) -> AccessResult {
         debug_assert!(core < self.cores);
         let write = kind.is_write();
+        // One decomposition for every level (the line address doubles as
+        // the tag, the directory key, and the prefetch-arrival key).
+        let line = addr >> self.line_shift;
         let stats = &mut self.core_stats[core];
         stats.accesses += 1;
 
         // L1.
-        let l1 = self.l1[core].access(addr, write);
+        let l1 = self.l1[core].access_line(line, write);
         if l1.hit {
             // The data is hot in L1, but a (re-)prefetched copy may still be
             // marked in L2: consume the mark so its credit recycles instead
             // of pinning the pool (paper §5.3.1: accessed marked lines
             // return their credit).
             let mut prefetch_consumed = false;
-            if self.l2[core].consume_mark(addr) {
+            if self.l2[core].consume_mark_line(line) {
                 self.pending_credits[core] += 1;
-                self.prefetch_ready[core].remove(&self.l3.line_of(addr));
+                self.prefetch_ready[core].remove(line);
                 prefetch_consumed = true;
             }
             let mut latency = self.l1_latency;
             if write {
-                latency += self.ownership_cost(core, addr, now);
+                latency += self.ownership_cost(core, line, now);
             }
             return AccessResult {
                 latency,
@@ -209,16 +225,16 @@ impl MemoryHierarchy {
         self.core_stats[core].l1_misses += 1;
 
         // L2 (where Minnow prefetch bits live).
-        let l2 = self.l2[core].access(addr, write);
+        let l2 = self.l2[core].access_line(line, write);
         if l2.hit {
-            self.fill_private(core, addr, write, FillDepth::L1Only, now);
+            self.fill_private(core, line, write, FillDepth::L1Only, now);
             let mut latency = self.l2_latency;
             if l2.prefetch_consumed {
                 self.pending_credits[core] += 1;
-                latency = latency.max(self.hit_under_miss_stall(core, addr, now));
+                latency = latency.max(self.hit_under_miss_stall(core, line, now));
             }
             if write {
-                latency += self.ownership_cost(core, addr, now);
+                latency += self.ownership_cost(core, line, now);
             }
             return AccessResult {
                 latency,
@@ -229,12 +245,12 @@ impl MemoryHierarchy {
         self.core_stats[core].l2_misses += 1;
 
         // Beyond the private caches.
-        let (beyond_latency, level) = self.fetch_from_shared(core, addr, now + self.l2_latency);
-        self.fill_private(core, addr, write, FillDepth::L1AndL2, now);
-        self.directory_add_sharer(core, addr);
+        let (beyond_latency, level) = self.fetch_from_shared(core, line, now + self.l2_latency);
+        self.fill_private(core, line, write, FillDepth::L1AndL2, now);
+        self.directory_add_sharer(core, line);
         let mut latency = self.l2_latency + beyond_latency;
         if write {
-            latency += self.ownership_cost(core, addr, now);
+            latency += self.ownership_cost(core, line, now);
         }
         AccessResult {
             latency,
@@ -247,18 +263,19 @@ impl MemoryHierarchy {
     /// line. Does not touch L1 (the engine attaches at L2, paper §4).
     pub fn prefetch_fill(&mut self, core: usize, addr: u64, now: Cycle) -> PrefetchResult {
         debug_assert!(core < self.cores);
-        if self.l2[core].probe(addr) {
+        let line = addr >> self.line_shift;
+        if self.l2[core].probe_line(line) {
             return PrefetchResult {
                 latency: self.l2_latency,
                 filled: false,
                 level: CacheLevel::L2,
             };
         }
-        let (beyond_latency, level) = self.fetch_from_shared(core, addr, now + self.l2_latency);
-        if let Some(ev) = self.l2[core].fill(addr, false, true) {
+        let (beyond_latency, level) = self.fetch_from_shared(core, line, now + self.l2_latency);
+        if let Some(ev) = self.l2[core].fill_line(line, false, true) {
             if ev.prefetch_unused {
                 self.pending_credits[core] += 1;
-                self.prefetch_ready[core].remove(&ev.line_addr);
+                self.prefetch_ready[core].remove(ev.line_addr);
             }
             self.directory_remove_sharer_line(core, ev.line_addr);
             let line = ev.line_addr;
@@ -269,11 +286,10 @@ impl MemoryHierarchy {
                     .with_arg("prefetch_unused", unused)
             });
         }
-        self.directory_add_sharer(core, addr);
+        self.directory_add_sharer(core, line);
         let latency = self.l2_latency + beyond_latency;
         // The line is marked resident now, but its data only arrives at
         // `now + latency`; early demand consumers stall until then.
-        let line = self.l3.line_of(addr);
         self.prefetch_ready[core].insert(line, now + latency);
         self.tracer.emit(|| {
             TraceEvent::complete("fill", "cache", core as u32, now, latency).with_arg("line", line)
@@ -297,16 +313,17 @@ impl MemoryHierarchy {
     ) -> AccessResult {
         debug_assert!(core < self.cores);
         let write = kind.is_write();
+        let line = addr >> self.line_shift;
         self.core_stats[core].engine_accesses += 1;
-        let l2 = self.l2[core].access(addr, write);
+        let l2 = self.l2[core].access_line(line, write);
         if l2.hit {
             let mut latency = self.l2_latency;
             if l2.prefetch_consumed {
                 self.pending_credits[core] += 1;
-                latency = latency.max(self.hit_under_miss_stall(core, addr, now));
+                latency = latency.max(self.hit_under_miss_stall(core, line, now));
             }
             if write {
-                latency += self.ownership_cost(core, addr, now);
+                latency += self.ownership_cost(core, line, now);
             }
             return AccessResult {
                 latency,
@@ -315,11 +332,11 @@ impl MemoryHierarchy {
             };
         }
         self.core_stats[core].engine_l2_misses += 1;
-        let (beyond_latency, level) = self.fetch_from_shared(core, addr, now + self.l2_latency);
-        if let Some(ev) = self.l2[core].fill(addr, write, false) {
+        let (beyond_latency, level) = self.fetch_from_shared(core, line, now + self.l2_latency);
+        if let Some(ev) = self.l2[core].fill_line(line, write, false) {
             if ev.prefetch_unused {
                 self.pending_credits[core] += 1;
-                self.prefetch_ready[core].remove(&ev.line_addr);
+                self.prefetch_ready[core].remove(ev.line_addr);
             }
             self.directory_remove_sharer_line(core, ev.line_addr);
             let line = ev.line_addr;
@@ -330,10 +347,10 @@ impl MemoryHierarchy {
                     .with_arg("prefetch_unused", unused)
             });
         }
-        self.directory_add_sharer(core, addr);
+        self.directory_add_sharer(core, line);
         let mut latency = self.l2_latency + beyond_latency;
         if write {
-            latency += self.ownership_cost(core, addr, now);
+            latency += self.ownership_cost(core, line, now);
         }
         AccessResult {
             latency,
@@ -430,11 +447,10 @@ impl MemoryHierarchy {
 
     // ---- internals -------------------------------------------------------
 
-    /// Remaining cycles until an in-flight prefetch of `addr` arrives in
+    /// Remaining cycles until an in-flight prefetch of `line` arrives in
     /// `core`'s L2 (0 when already arrived). Consumes the arrival record.
-    fn prefetch_arrival_stall(&mut self, core: usize, addr: u64, now: Cycle) -> Cycle {
-        let line = self.l3.line_of(addr);
-        match self.prefetch_ready[core].remove(&line) {
+    fn prefetch_arrival_stall(&mut self, core: usize, line: u64, now: Cycle) -> Cycle {
+        match self.prefetch_ready[core].remove(line) {
             Some(ready) => ready.saturating_sub(now),
             None => 0,
         }
@@ -442,10 +458,9 @@ impl MemoryHierarchy {
 
     /// [`Self::prefetch_arrival_stall`], tracing the hit-under-miss span
     /// when a demand access catches an in-flight prefetch.
-    fn hit_under_miss_stall(&mut self, core: usize, addr: u64, now: Cycle) -> Cycle {
-        let stall = self.prefetch_arrival_stall(core, addr, now);
+    fn hit_under_miss_stall(&mut self, core: usize, line: u64, now: Cycle) -> Cycle {
+        let stall = self.prefetch_arrival_stall(core, line, now);
         if stall > 0 {
-            let line = self.l3.line_of(addr);
             self.tracer.emit(|| {
                 TraceEvent::complete("hit_under_miss", "cache", core as u32, now, stall)
                     .with_arg("line", line)
@@ -456,18 +471,17 @@ impl MemoryHierarchy {
 
     /// Fetches a line from L3/DRAM on behalf of `core`; returns (latency
     /// beyond the private caches, servicing level) and fills the L3.
-    fn fetch_from_shared(&mut self, core: usize, addr: u64, now: Cycle) -> (Cycle, CacheLevel) {
-        let line = self.l3.line_of(addr);
+    fn fetch_from_shared(&mut self, core: usize, line: u64, now: Cycle) -> (Cycle, CacheLevel) {
         let bank = self.bank_of(line);
         let req = self.noc.route(core, bank, 16, now);
-        let l3 = self.l3.access(addr, false);
+        let l3 = self.l3.access_line(line, false);
         if l3.hit {
             let resp = self.noc.route(bank, core, 64, now + req + self.l3_latency);
             return (req + self.l3_latency + resp, CacheLevel::L3);
         }
         self.core_stats[core].l3_misses += 1;
         let mem = self.dram.access(line, now + req + self.l3_latency);
-        self.l3.fill(addr, false, false);
+        self.l3.fill_line(line, false, false);
         let resp = self
             .noc
             .route(bank, core, 64, now + req + self.l3_latency + mem);
@@ -483,12 +497,12 @@ impl MemoryHierarchy {
     }
 
     /// Fill the private caches after a hit at an outer level.
-    fn fill_private(&mut self, core: usize, addr: u64, write: bool, depth: FillDepth, now: Cycle) {
+    fn fill_private(&mut self, core: usize, line: u64, write: bool, depth: FillDepth, now: Cycle) {
         if matches!(depth, FillDepth::L1AndL2) {
-            if let Some(ev) = self.l2[core].fill(addr, write, false) {
+            if let Some(ev) = self.l2[core].fill_line(line, write, false) {
                 if ev.prefetch_unused {
                     self.pending_credits[core] += 1;
-                    self.prefetch_ready[core].remove(&ev.line_addr);
+                    self.prefetch_ready[core].remove(ev.line_addr);
                 }
                 self.directory_remove_sharer_line(core, ev.line_addr);
                 let line = ev.line_addr;
@@ -500,14 +514,13 @@ impl MemoryHierarchy {
                 });
             }
         }
-        self.l1[core].fill(addr, write, false);
+        self.l1[core].fill_line(line, write, false);
     }
 
     /// Write-ownership: invalidate other cores' private copies and charge a
     /// coherence round-trip when any existed.
-    fn ownership_cost(&mut self, core: usize, addr: u64, now: Cycle) -> Cycle {
-        let line = self.l1[core].line_of(addr);
-        let Some(mask) = self.directory.get_mut(&line) else {
+    fn ownership_cost(&mut self, core: usize, line: u64, now: Cycle) -> Cycle {
+        let Some(mask) = self.directory.get_mut(line) else {
             self.directory.insert(line, 1u64 << core);
             return 0;
         };
@@ -522,14 +535,14 @@ impl MemoryHierarchy {
         while m != 0 {
             let other = m.trailing_zeros() as usize;
             m &= m - 1;
-            if let Some(ev) = self.l2[other].invalidate(addr) {
+            if let Some(ev) = self.l2[other].invalidate_line(line) {
                 if ev.prefetch_unused {
                     self.pending_credits[other] += 1;
-                    self.prefetch_ready[other].remove(&ev.line_addr);
+                    self.prefetch_ready[other].remove(ev.line_addr);
                     self.prefetch_invalidated += 1;
                 }
             }
-            self.l1[other].invalidate(addr);
+            self.l1[other].invalidate_line(line);
             // One invalidation round-trip dominates; extra sharers add a
             // small serialization cost.
             if cost == 0 {
@@ -542,16 +555,15 @@ impl MemoryHierarchy {
         cost
     }
 
-    fn directory_add_sharer(&mut self, core: usize, addr: u64) {
-        let line = self.l3.line_of(addr);
-        *self.directory.entry(line).or_insert(0) |= 1u64 << core;
+    fn directory_add_sharer(&mut self, core: usize, line: u64) {
+        *self.directory.or_insert(line, 0) |= 1u64 << core;
     }
 
     fn directory_remove_sharer_line(&mut self, core: usize, line_addr: u64) {
-        if let Some(mask) = self.directory.get_mut(&line_addr) {
+        if let Some(mask) = self.directory.get_mut(line_addr) {
             *mask &= !(1u64 << core);
             if *mask == 0 {
-                self.directory.remove(&line_addr);
+                self.directory.remove(line_addr);
             }
         }
     }

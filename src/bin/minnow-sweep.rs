@@ -30,6 +30,7 @@ struct Args {
     seed: Option<u64>,
     stdout: bool,
     trace_out: Option<String>,
+    bench_out: Option<String>,
 }
 
 const USAGE: &str = "\
@@ -50,6 +51,9 @@ options:
   --trace-out F   capture structured traces and write a Chrome
                   trace_event JSON (Perfetto-loadable) to F; simulation
                   results and the JSONL artifact are unchanged
+  --bench-out F   write a host wall-clock benchmark document to F
+                  (per-point wall time, tasks/sec, accesses/sec);
+                  simulation results and the JSONL artifact are unchanged
   --list          list sweep names and point counts, then exit
 ";
 
@@ -64,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
         seed: None,
         stdout: false,
         trace_out: None,
+        bench_out: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -82,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = Some(value("--seed")?.parse().map_err(|e| format!("{e}"))?),
             "--stdout" => args.stdout = true,
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--bench-out" => args.bench_out = Some(value("--bench-out")?),
             other if !other.starts_with('-') && args.sweep.is_none() => {
                 args.sweep = Some(other.to_string())
             }
@@ -175,6 +181,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote trace to {path} (load in https://ui.perfetto.dev)");
+    }
+
+    if let Some(path) = &args.bench_out {
+        let doc = result.bench_json() + "\n";
+        let write = |p: &str, doc: &str| -> std::io::Result<()> {
+            if let Some(parent) = std::path::Path::new(p).parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            std::fs::write(p, doc)
+        };
+        if let Err(e) = write(path, &doc) {
+            eprintln!("error: writing benchmark document to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote wall-clock benchmark document to {path}");
     }
 
     if args.stdout {

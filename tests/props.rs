@@ -17,6 +17,173 @@ fn any_task() -> impl Strategy<Value = Task> {
     (0u64..1000, 0u32..500).prop_map(|(p, n)| Task::new(p, n))
 }
 
+/// One cache operation for the oracle-equivalence property.
+#[derive(Debug, Clone, Copy)]
+enum CacheOp {
+    /// Demand access; on a miss, fill when the flag is set (mirroring the
+    /// hierarchy's access-then-fill protocol).
+    Access { addr: u64, write: bool, fill: bool },
+    /// Prefetch fill (marked line).
+    PrefetchFill { addr: u64 },
+    /// Clear a mark without a full access.
+    ConsumeMark { addr: u64 },
+    /// Directory-initiated invalidation.
+    Invalidate { addr: u64 },
+}
+
+fn any_cache_op() -> impl Strategy<Value = CacheOp> {
+    // Addresses over 16 lines mapping onto 4 sets: heavy conflict traffic.
+    let addr = (0u64..16).prop_map(|l| l * 64 + (l % 7));
+    // The vendored proptest stub's `prop_oneof!` is unweighted; bias
+    // toward demand traffic by listing the access arm twice.
+    prop_oneof![
+        (addr.clone(), any::<bool>(), any::<bool>())
+            .prop_map(|(addr, write, fill)| CacheOp::Access { addr, write, fill }),
+        (addr.clone(), any::<bool>(), any::<bool>())
+            .prop_map(|(addr, write, fill)| CacheOp::Access { addr, write, fill }),
+        addr.clone().prop_map(|addr| CacheOp::PrefetchFill { addr }),
+        addr.clone().prop_map(|addr| CacheOp::ConsumeMark { addr }),
+        addr.prop_map(|addr| CacheOp::Invalidate { addr }),
+    ]
+}
+
+/// Naive array-of-structs reference cache: one `Option<Line>` per way,
+/// scanned linearly, LRU victim chosen by strict-`<` first minimum — the
+/// exact model the packed SoA [`Cache`] replaced. Tick semantics match
+/// the production model's documented contract: the clock advances exactly
+/// when a recency timestamp is recorded (hits and fills), never on
+/// no-fill misses or metadata-only operations.
+struct OracleCache {
+    slots: Vec<Option<OracleLine>>,
+    sets: usize,
+    ways: usize,
+    line_shift: u32,
+    tick: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OracleLine {
+    line_addr: u64,
+    last_use: u64,
+    dirty: bool,
+    prefetch: bool,
+}
+
+/// The oracle's answer for one operation, compared field-for-field with
+/// the packed implementation's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OracleOutcome {
+    Lookup { hit: bool, prefetch_consumed: bool },
+    Fill { evicted: Option<(u64, bool, bool)> },
+    Consumed(bool),
+    Invalidated(Option<(bool, bool)>),
+}
+
+impl OracleCache {
+    fn new(params: &CacheParams) -> Self {
+        let sets = params.sets();
+        OracleCache {
+            slots: vec![None; sets * params.ways],
+            sets,
+            ways: params.ways,
+            line_shift: params.line_bytes.trailing_zeros(),
+            tick: 0,
+        }
+    }
+
+    fn set_base(&self, line_addr: u64) -> usize {
+        (line_addr as usize % self.sets) * self.ways
+    }
+
+    fn find(&self, line_addr: u64) -> Option<usize> {
+        let base = self.set_base(line_addr);
+        (base..base + self.ways)
+            .find(|&i| self.slots[i].map(|l| l.line_addr) == Some(line_addr))
+    }
+
+    fn access(&mut self, addr: u64, write: bool) -> OracleOutcome {
+        let line_addr = addr >> self.line_shift;
+        if let Some(idx) = self.find(line_addr) {
+            self.tick += 1;
+            let line = self.slots[idx].as_mut().unwrap();
+            line.last_use = self.tick;
+            line.dirty |= write;
+            let prefetch_consumed = line.prefetch;
+            line.prefetch = false;
+            OracleOutcome::Lookup {
+                hit: true,
+                prefetch_consumed,
+            }
+        } else {
+            OracleOutcome::Lookup {
+                hit: false,
+                prefetch_consumed: false,
+            }
+        }
+    }
+
+    fn fill(&mut self, addr: u64, write: bool, prefetch: bool) -> OracleOutcome {
+        let line_addr = addr >> self.line_shift;
+        self.tick += 1;
+        let base = self.set_base(line_addr);
+        if let Some(idx) = self.find(line_addr) {
+            let line = self.slots[idx].as_mut().unwrap();
+            line.last_use = self.tick;
+            line.dirty |= write;
+            return OracleOutcome::Fill { evicted: None };
+        }
+        let newcomer = OracleLine {
+            line_addr,
+            last_use: self.tick,
+            dirty: write,
+            prefetch,
+        };
+        if let Some(free) = (base..base + self.ways).find(|&i| self.slots[i].is_none()) {
+            self.slots[free] = Some(newcomer);
+            return OracleOutcome::Fill { evicted: None };
+        }
+        let victim = (base..base + self.ways)
+            .min_by_key(|&i| self.slots[i].unwrap().last_use)
+            .unwrap();
+        let old = self.slots[victim].unwrap();
+        self.slots[victim] = Some(newcomer);
+        OracleOutcome::Fill {
+            evicted: Some((old.line_addr, old.dirty, old.prefetch)),
+        }
+    }
+
+    fn consume_mark(&mut self, addr: u64) -> OracleOutcome {
+        let line_addr = addr >> self.line_shift;
+        if let Some(idx) = self.find(line_addr) {
+            let line = self.slots[idx].as_mut().unwrap();
+            if line.prefetch {
+                line.prefetch = false;
+                return OracleOutcome::Consumed(true);
+            }
+        }
+        OracleOutcome::Consumed(false)
+    }
+
+    fn invalidate(&mut self, addr: u64) -> OracleOutcome {
+        let line_addr = addr >> self.line_shift;
+        match self.find(line_addr) {
+            Some(idx) => {
+                let old = self.slots[idx].take().unwrap();
+                OracleOutcome::Invalidated(Some((old.dirty, old.prefetch)))
+            }
+            None => OracleOutcome::Invalidated(None),
+        }
+    }
+
+    fn resident(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    fn marked(&self) -> usize {
+        self.slots.iter().flatten().filter(|l| l.prefetch).count()
+    }
+}
+
 /// Filter strings for the sweep-selection property: meaningful id
 /// fragments plus arbitrary short strings over the id alphabet (the
 /// proptest stub has no native string strategy, so build from indices).
@@ -158,6 +325,67 @@ proptest! {
             cache.fill(a, false, false);
             prop_assert!(cache.probe(a), "just-filled line must be present");
             prop_assert!(cache.resident_lines() <= params.lines());
+        }
+    }
+
+    /// Oracle equivalence for the packed SoA cache: replay an arbitrary
+    /// operation stream against both the production [`Cache`] and the naive
+    /// array-of-structs [`OracleCache`] it replaced, and demand identical
+    /// decisions op by op — hit/miss, consumed marks, victim identity and
+    /// metadata, invalidation results — plus identical resident/marked
+    /// counts at every step.
+    #[test]
+    fn packed_cache_matches_naive_oracle(ops in prop::collection::vec(any_cache_op(), 1..400)) {
+        let params = CacheParams { size_bytes: 512, ways: 2, line_bytes: 64, latency: 1 };
+        let mut packed = Cache::new(params);
+        let mut oracle = OracleCache::new(&params);
+        for (step, op) in ops.into_iter().enumerate() {
+            let (got, want) = match op {
+                CacheOp::Access { addr, write, fill } => {
+                    let l = packed.access(addr, write);
+                    let want = oracle.access(addr, write);
+                    let got = OracleOutcome::Lookup {
+                        hit: l.hit,
+                        prefetch_consumed: l.prefetch_consumed,
+                    };
+                    prop_assert_eq!(got, want, "lookup diverged at step {}: {:?}", step, op);
+                    if !l.hit && fill {
+                        let ev = packed.fill(addr, write, false);
+                        (
+                            OracleOutcome::Fill {
+                                evicted: ev.map(|e| (e.line_addr, e.dirty, e.prefetch_unused)),
+                            },
+                            oracle.fill(addr, write, false),
+                        )
+                    } else {
+                        (got, want)
+                    }
+                }
+                CacheOp::PrefetchFill { addr } => {
+                    let ev = packed.fill(addr, false, true);
+                    (
+                        OracleOutcome::Fill {
+                            evicted: ev.map(|e| (e.line_addr, e.dirty, e.prefetch_unused)),
+                        },
+                        oracle.fill(addr, false, true),
+                    )
+                }
+                CacheOp::ConsumeMark { addr } => (
+                    OracleOutcome::Consumed(packed.consume_mark(addr)),
+                    oracle.consume_mark(addr),
+                ),
+                CacheOp::Invalidate { addr } => (
+                    OracleOutcome::Invalidated(
+                        packed.invalidate(addr).map(|e| (e.dirty, e.prefetch_unused)),
+                    ),
+                    oracle.invalidate(addr),
+                ),
+            };
+            prop_assert_eq!(got, want, "decision diverged at step {}: {:?}", step, op);
+            prop_assert_eq!(packed.resident_lines(), oracle.resident(),
+                "resident count diverged at step {}", step);
+            prop_assert_eq!(packed.marked_lines(), oracle.marked(),
+                "marked count diverged at step {}", step);
         }
     }
 

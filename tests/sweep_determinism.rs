@@ -94,6 +94,92 @@ fn tracing_never_changes_the_artifact() {
     assert!(traced.chrome_trace_json().is_some());
 }
 
+/// The wall-clock benchmark document (`--bench-out`) is a pure
+/// observation: producing it never perturbs the simulated results, so
+/// the JSONL artifact stays byte-identical whether or not it is asked
+/// for — the same contract tracing honors above.
+#[test]
+fn bench_document_never_changes_the_artifact() {
+    let sweep = Sweep::smoke(&tiny_params());
+    let plain = run_sweep(&sweep, &SweepConfig::serial());
+    let benched = run_sweep(&sweep, &SweepConfig::serial());
+    let bench = benched.bench_json();
+    assert!(!bench.is_empty());
+    assert_eq!(
+        plain.jsonl(),
+        benched.jsonl(),
+        "--bench-out must leave the JSON-lines artifact byte-identical"
+    );
+    assert_eq!(
+        plain.breakdown_jsonl(),
+        benched.breakdown_jsonl(),
+        "the cycle-accounting artifact must not depend on bench export"
+    );
+    // Rendering the bench document is non-destructive: the simulated
+    // artifact is unchanged afterwards, and re-rendering sees the same
+    // (volatile) measurements.
+    assert_eq!(benched.jsonl(), plain.jsonl());
+    assert_eq!(bench, benched.bench_json());
+}
+
+/// Schema contract of the benchmark document: versioned schema tag, one
+/// entry per sweep point carrying wall time and throughput, and stable
+/// simulated fields that agree with the JSONL artifact.
+#[test]
+fn bench_document_schema_and_content() {
+    let sweep = Sweep::smoke(&tiny_params());
+    let result = run_sweep(&sweep, &SweepConfig::serial().with_threads(2));
+    let bench = result.bench_json();
+
+    assert!(
+        bench.starts_with("{\"schema\":\"minnow-bench-wallclock/v1\""),
+        "bench document must lead with its schema tag: {bench}"
+    );
+    for field in [
+        "\"sweep\":\"smoke\"",
+        "\"pool_threads\":2",
+        "\"wall_ms\":",
+        "\"total_tasks\":",
+        "\"total_mem_accesses\":",
+        "\"tasks_per_sec\":",
+        "\"accesses_per_sec\":",
+        "\"points\":[",
+    ] {
+        assert!(bench.contains(field), "bench document lacks {field}: {bench}");
+    }
+    // One point entry per sweep point, each with the per-point fields.
+    assert_eq!(
+        bench.matches("\"wall_us\":").count(),
+        sweep.points.len(),
+        "one wall_us measurement per point"
+    );
+    for point in &result.points {
+        assert!(
+            bench.contains(&format!("\"id\":\"{}\"", point.id)),
+            "bench document is missing point {}",
+            point.id
+        );
+        // The simulated (stable) fields embedded in the bench document
+        // must agree with the canonical artifact.
+        assert!(
+            bench.contains(&format!(
+                "\"id\":\"{}\",\"wall_us\":",
+                point.id
+            )),
+            "point {} entry malformed",
+            point.id
+        );
+        assert!(
+            bench.contains(&format!("\"makespan\":{}", point.report.makespan)),
+            "point {} makespan missing from bench document",
+            point.id
+        );
+    }
+    // Totals are the sums of the per-point simulated counters.
+    let tasks: u64 = result.points.iter().map(|p| p.report.tasks).sum();
+    assert!(bench.contains(&format!("\"total_tasks\":{tasks}")));
+}
+
 #[test]
 fn breakdown_rows_are_closed() {
     let sweep = Sweep::smoke(&tiny_params());

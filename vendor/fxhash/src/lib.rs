@@ -1,0 +1,413 @@
+//! Offline stand-in for the `fxhash` crate.
+//!
+//! Two things live here:
+//!
+//! - [`FxHasher`], the multiply-rotate hash used by the Firefox and rustc
+//!   codebases, plus the usual [`FxHashMap`]/[`FxHashSet`] aliases. Fx is
+//!   *not* DoS-resistant, which is exactly why it is appropriate for a
+//!   deterministic simulator: the hash of a key is a pure function of its
+//!   bytes, with no per-process random seed, so any data structure built on
+//!   it behaves identically run to run.
+//! - [`FxMap64`], an open-addressed, linear-probing map from `u64` keys to
+//!   small values. The simulator's directory and prefetch-arrival tables are
+//!   keyed by cache-line addresses and hit on every store / prefetch, so the
+//!   per-probe cost matters; open addressing with backshift deletion keeps
+//!   each lookup inside one or two cache lines and allocates only on growth.
+//!
+//! Determinism note: neither structure is ever iterated by the simulator —
+//! all access is point lookup/insert/remove — so even the *order* internals
+//! are free to differ from `std::collections::HashMap` without any
+//! observable effect on simulation results.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+/// Zero-sized deterministic builder for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx multiply-rotate hasher (word-at-a-time, no random state).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Mixes a bare `u64` key into a table index distribution. A single Fx
+/// round is too weak for sequential line addresses (the low bits barely
+/// move), so this finishes with an xor-shift the way SplitMix64 does.
+#[inline]
+fn mix64(key: u64) -> u64 {
+    let h = key.wrapping_mul(SEED);
+    h ^ (h >> 32)
+}
+
+const EMPTY: u64 = u64::MAX;
+const MIN_CAPACITY: usize = 16;
+
+/// Open-addressed `u64 -> V` map with linear probing and backshift deletion.
+///
+/// Keys must never equal `u64::MAX` (the empty sentinel). The simulator
+/// keys these maps by cache-line address (`addr >> line_shift`), which for
+/// any line size >= 2 bytes cannot reach the sentinel.
+///
+/// No iteration API is provided on purpose: callers that never iterate
+/// cannot accidentally become sensitive to table ordering.
+#[derive(Debug, Clone)]
+pub struct FxMap64<V> {
+    keys: Vec<u64>,
+    vals: Vec<V>,
+    len: usize,
+    /// `keys.len() - 1`; table capacity is always a power of two.
+    mask: usize,
+}
+
+impl<V: Copy + Default> Default for FxMap64<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Copy + Default> FxMap64<V> {
+    /// An empty map with the minimum table size.
+    pub fn new() -> Self {
+        Self::with_capacity(MIN_CAPACITY)
+    }
+
+    /// An empty map sized so `capacity` entries fit without growing.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let table = (capacity.max(MIN_CAPACITY) * 4 / 3 + 1).next_power_of_two();
+        FxMap64 {
+            keys: vec![EMPTY; table],
+            vals: vec![V::default(); table],
+            len: 0,
+            mask: table - 1,
+        }
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.keys.fill(EMPTY);
+        self.len = 0;
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> Option<usize> {
+        let mut idx = (mix64(key) as usize) & self.mask;
+        loop {
+            let k = self.keys[idx];
+            if k == key {
+                return Some(idx);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Point lookup.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        debug_assert_ne!(key, EMPTY, "u64::MAX is the empty sentinel");
+        self.slot_of(key).map(|i| &self.vals[i])
+    }
+
+    /// Mutable point lookup.
+    #[inline]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        debug_assert_ne!(key, EMPTY, "u64::MAX is the empty sentinel");
+        self.slot_of(key).map(|i| &mut self.vals[i])
+    }
+
+    /// Whether `key` is present.
+    #[inline]
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.slot_of(key).is_some()
+    }
+
+    /// Inserts `key -> val`, returning the previous value if any.
+    #[inline]
+    pub fn insert(&mut self, key: u64, val: V) -> Option<V> {
+        debug_assert_ne!(key, EMPTY, "u64::MAX is the empty sentinel");
+        self.reserve_one();
+        let mut idx = (mix64(key) as usize) & self.mask;
+        loop {
+            let k = self.keys[idx];
+            if k == key {
+                return Some(std::mem::replace(&mut self.vals[idx], val));
+            }
+            if k == EMPTY {
+                self.keys[idx] = key;
+                self.vals[idx] = val;
+                self.len += 1;
+                return None;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// The `HashMap::entry(key).or_insert(default)` shape the directory
+    /// uses: returns a mutable ref to the existing value, inserting
+    /// `default` first if the key was absent.
+    #[inline]
+    pub fn or_insert(&mut self, key: u64, default: V) -> &mut V {
+        debug_assert_ne!(key, EMPTY, "u64::MAX is the empty sentinel");
+        self.reserve_one();
+        let mut idx = (mix64(key) as usize) & self.mask;
+        loop {
+            let k = self.keys[idx];
+            if k == key {
+                return &mut self.vals[idx];
+            }
+            if k == EMPTY {
+                self.keys[idx] = key;
+                self.vals[idx] = default;
+                self.len += 1;
+                return &mut self.vals[idx];
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Removes `key`, returning its value if present. Uses backshift
+    /// deletion (no tombstones), so probe chains never degrade.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        debug_assert_ne!(key, EMPTY, "u64::MAX is the empty sentinel");
+        let mut hole = self.slot_of(key)?;
+        let out = self.vals[hole];
+        self.len -= 1;
+        // Backshift: walk the cluster after `hole`; any entry whose home
+        // slot is at or before the hole (cyclically) moves back into it.
+        let mut idx = (hole + 1) & self.mask;
+        loop {
+            let k = self.keys[idx];
+            if k == EMPTY {
+                break;
+            }
+            let home = (mix64(k) as usize) & self.mask;
+            // `home` is outside the cyclic half-open range (hole, idx]
+            // exactly when the entry may legally move into the hole.
+            let dist_home = idx.wrapping_sub(home) & self.mask;
+            let dist_hole = idx.wrapping_sub(hole) & self.mask;
+            if dist_home >= dist_hole {
+                self.keys[hole] = k;
+                self.vals[hole] = self.vals[idx];
+                hole = idx;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+        self.keys[hole] = EMPTY;
+        Some(out)
+    }
+
+    #[inline]
+    fn reserve_one(&mut self) {
+        // Grow at 3/4 load.
+        if (self.len + 1) * 4 > (self.mask + 1) * 3 {
+            self.grow();
+        }
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let new_table = (self.mask + 1) * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_table]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![V::default(); new_table]);
+        self.mask = new_table - 1;
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY {
+                self.insert(k, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn hasher_is_deterministic_across_builders() {
+        let build = FxBuildHasher::default();
+        let a = build.hash_one(0xdead_beefu64);
+        let b = FxBuildHasher::default().hash_one(0xdead_beefu64);
+        assert_eq!(a, b);
+        assert_ne!(a, build.hash_one(0xdead_beeeu64));
+    }
+
+    #[test]
+    fn hasher_covers_unaligned_tails() {
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3]);
+        let tail = h.finish();
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 0, 0, 0, 0, 0]);
+        assert_eq!(tail, h2.finish(), "short tails are zero-padded to a word");
+    }
+
+    #[test]
+    fn map_insert_get_remove_roundtrip() {
+        let mut m = FxMap64::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(7, 70u64), None);
+        assert_eq!(m.insert(7, 71), Some(70));
+        assert_eq!(m.get(7), Some(&71));
+        assert_eq!(m.remove(7), Some(71));
+        assert_eq!(m.remove(7), None);
+        assert!(m.get(7).is_none());
+    }
+
+    #[test]
+    fn or_insert_matches_entry_semantics() {
+        let mut m = FxMap64::new();
+        *m.or_insert(3, 0u64) |= 0b01;
+        *m.or_insert(3, 0) |= 0b10;
+        assert_eq!(m.get(3), Some(&0b11));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn growth_preserves_every_entry() {
+        let mut m = FxMap64::with_capacity(4);
+        for k in 0..10_000u64 {
+            m.insert(k, k.wrapping_mul(3));
+        }
+        assert_eq!(m.len(), 10_000);
+        for k in 0..10_000u64 {
+            assert_eq!(m.get(k), Some(&k.wrapping_mul(3)), "key {k}");
+        }
+    }
+
+    #[test]
+    fn backshift_deletion_keeps_clustered_keys_reachable() {
+        // Force heavy clustering: many keys, then delete every other one
+        // and verify the survivors are all still reachable.
+        let mut m = FxMap64::with_capacity(64);
+        let keys: Vec<u64> = (0..512u64).map(|i| i * 64).collect(); // line-addr-like
+        for &k in &keys {
+            m.insert(k, k + 1);
+        }
+        for &k in keys.iter().step_by(2) {
+            assert_eq!(m.remove(k), Some(k + 1));
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(m.get(k).is_none(), "deleted key {k} resurfaced");
+            } else {
+                assert_eq!(m.get(k), Some(&(k + 1)), "survivor {k} lost");
+            }
+        }
+        assert_eq!(m.len(), 256);
+    }
+
+    #[test]
+    fn map_matches_std_hashmap_under_random_workload() {
+        // Deterministic xorshift so the test itself stays reproducible.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut ours = FxMap64::new();
+        let mut reference = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            let key = rand() % 800; // small key space => frequent collisions
+            match rand() % 3 {
+                0 => {
+                    let v = rand();
+                    assert_eq!(ours.insert(key, v), reference.insert(key, v));
+                }
+                1 => assert_eq!(ours.remove(key), reference.remove(&key)),
+                _ => assert_eq!(ours.get(key), reference.get(&key)),
+            }
+        }
+        assert_eq!(ours.len(), reference.len());
+    }
+
+    #[test]
+    fn clear_keeps_allocation_and_empties() {
+        let mut m = FxMap64::new();
+        for k in 0..100u64 {
+            m.insert(k, k);
+        }
+        m.clear();
+        assert!(m.is_empty());
+        assert!(m.get(5).is_none());
+        m.insert(5, 50);
+        assert_eq!(m.get(5), Some(&50));
+    }
+}
