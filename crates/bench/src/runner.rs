@@ -82,6 +82,15 @@ pub struct BenchRun {
     pub task_limit: u64,
     /// Serial-baseline accounting (atomics as stores).
     pub serial_baseline: bool,
+    /// Host threads simulating this point (bound-weave mode when `>= 2`;
+    /// see `minnow_runtime::sim_exec::ExecConfig::point_threads`).
+    /// Simulated outcomes are byte-identical for every value.
+    pub point_threads: usize,
+    /// Override the bound-weave epoch length (simulated cycles);
+    /// outcome-neutral.
+    pub weave_epoch: Option<u64>,
+    /// Override the bound-weave in-flight fetch cap; outcome-neutral.
+    pub weave_inflight: Option<usize>,
 }
 
 impl BenchRun {
@@ -98,6 +107,9 @@ impl BenchRun {
             rob: None,
             task_limit: 20_000_000,
             serial_baseline: false,
+            point_threads: 1,
+            weave_epoch: None,
+            weave_inflight: None,
         }
     }
 
@@ -132,6 +144,13 @@ impl BenchRun {
         }
         if let Some(rob) = self.rob {
             cfg.sim.ooo = minnow_sim::config::OooParams::scaled_rob(rob);
+        }
+        cfg.point_threads = self.point_threads.max(1);
+        if let Some(epoch) = self.weave_epoch {
+            cfg.weave_epoch = epoch;
+        }
+        if let Some(cap) = self.weave_inflight {
+            cfg.weave_inflight = cap;
         }
         cfg
     }
@@ -212,6 +231,10 @@ impl BenchRun {
                 bsp.lg_bucket_interval = *lg;
                 bsp.core_mode = self.core_mode;
                 bsp.tracer = tracer.clone();
+                bsp.point_threads = self.point_threads.max(1);
+                if let Some(cap) = self.weave_inflight {
+                    bsp.weave_inflight = cap;
+                }
                 run_bsp(op.as_mut(), &bsp)
             }
         }

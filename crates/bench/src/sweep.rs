@@ -312,6 +312,12 @@ pub struct SweepConfig {
     /// simulation results or the JSONL artifact — traces are exported
     /// separately (see [`SweepResult::chrome_trace_json`]).
     pub trace: bool,
+    /// Host threads simulating each *single* point (bound-weave mode when
+    /// `>= 2`; distinct from [`SweepConfig::threads`], the across-point
+    /// pool). Simulated results — JSONL, breakdowns, traces — are
+    /// byte-identical for every value; only host wall-clock changes.
+    /// Traced points always run serially regardless of this setting.
+    pub point_threads: usize,
 }
 
 impl SweepConfig {
@@ -321,6 +327,7 @@ impl SweepConfig {
             threads: 1,
             filter: None,
             trace: false,
+            point_threads: 1,
         }
     }
 
@@ -331,7 +338,14 @@ impl SweepConfig {
             threads: crate::sweep_threads(),
             filter: None,
             trace: false,
+            point_threads: 1,
         }
+    }
+
+    /// Same configuration with a different per-point thread count.
+    pub fn with_point_threads(mut self, point_threads: usize) -> Self {
+        self.point_threads = point_threads;
+        self
     }
 
     /// Same configuration with a different pool width.
@@ -384,6 +398,9 @@ pub struct SweepResult {
     pub points: Vec<PointResult>,
     /// Pool threads actually used (volatile; not part of any record).
     pub pool_threads: usize,
+    /// Per-point simulation threads used (volatile; not part of any
+    /// record — simulated results are identical for every value).
+    pub point_threads: usize,
     /// Wall-clock duration of the whole sweep (volatile).
     pub wall: Duration,
 }
@@ -415,15 +432,17 @@ pub fn run_sweep(sweep: &Sweep, cfg: &SweepConfig) -> SweepResult {
             s.spawn(move |_| {
                 while let Some(slot) = next_task(&local, injector, stealers) {
                     let point = selected[slot];
+                    let mut run = point.run.clone();
+                    run.point_threads = cfg.point_threads.max(1);
                     let p0 = Instant::now();
                     let (report, trace) = if cfg.trace {
                         // Each point gets a private buffer, so pool
                         // interleaving never mixes event streams.
                         let tracer = Tracer::enabled();
-                        let report = point.run.execute_traced(&tracer);
+                        let report = run.execute_traced(&tracer);
                         (report, Some(tracer.take_events()))
                     } else {
-                        (point.run.execute(), None)
+                        (run.execute(), None)
                     };
                     let result = PointResult {
                         id: point.id.clone(),
@@ -449,6 +468,7 @@ pub fn run_sweep(sweep: &Sweep, cfg: &SweepConfig) -> SweepResult {
         sweep: sweep.name.clone(),
         points,
         pool_threads: pool,
+        point_threads: cfg.point_threads.max(1),
         wall: t0.elapsed(),
     }
 }
@@ -616,6 +636,7 @@ impl SweepResult {
             .str("schema", BENCH_SCHEMA)
             .str("sweep", &self.sweep)
             .u64("pool_threads", self.pool_threads as u64)
+            .u64("point_threads", self.point_threads as u64)
             .u64("wall_ms", self.wall.as_millis() as u64)
             .u64("total_tasks", tasks)
             .u64("total_mem_accesses", accesses)

@@ -46,6 +46,13 @@ pub struct BspConfig {
     /// Structured event sink (disabled by default; the BSP engine owns
     /// its hierarchy, so the tracer is injected through the config).
     pub tracer: Tracer,
+    /// Host threads simulating this point; `>= 2` enables bound-weave mode
+    /// (see [`crate::sim_exec::ExecConfig::point_threads`]). Supersteps are
+    /// the BSP engine's natural epochs: the weave is drained at every
+    /// barrier. Outcomes are byte-identical either way.
+    pub point_threads: usize,
+    /// Flow-control cap on weave-inflight fetches (outcome-neutral).
+    pub weave_inflight: usize,
 }
 
 impl BspConfig {
@@ -59,6 +66,8 @@ impl BspConfig {
             superstep_limit: 200_000,
             serial_baseline: false,
             tracer: Tracer::disabled(),
+            point_threads: 1,
+            weave_inflight: crate::sim_exec::DEFAULT_WEAVE_INFLIGHT,
         }
     }
 
@@ -86,6 +95,12 @@ pub fn run_bsp(op: &mut dyn Operator, cfg: &BspConfig) -> RunReport {
     assert!(cfg.threads >= 1, "need at least one thread");
     let mut mem = MemoryHierarchy::new(&cfg.sim);
     mem.set_tracer(cfg.tracer.clone());
+    if cfg.point_threads > 1 {
+        // Bound-weave mode (refused under tracing — traced points stay on
+        // the serial oracle path). Supersteps are the epochs here: every
+        // barrier below drains the weave.
+        mem.enable_weave(cfg.weave_inflight.max(1));
+    }
     let tracer = cfg.tracer.clone();
     let mut accounting = CycleAccounting::new(cfg.threads);
     let core_model = CoreModel::new(cfg.sim.ooo, cfg.core_mode, cfg.sim.branch_mispredict_rate);
@@ -190,6 +205,8 @@ pub fn run_bsp(op: &mut dyn Operator, cfg: &BspConfig) -> RunReport {
                 }
             }
 
+            // Superstep barrier = weave epoch boundary.
+            mem.drain_weave();
             let busiest = clocks.iter().copied().max().unwrap_or(now);
             // Threads that finished their share early wait at the
             // barrier: superstep load imbalance is idle time.
@@ -222,6 +239,7 @@ fn finish(
     threads: usize,
     mut accounting: CycleAccounting,
 ) -> RunReport {
+    mem.finish_weave();
     accounting.close(report.makespan);
     report.breakdown = Breakdown {
         useful: accounting.bin_total(CycleBin::Useful),

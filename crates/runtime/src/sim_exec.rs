@@ -54,7 +54,29 @@ pub struct ExecConfig {
     /// Serial-baseline mode: atomics are counted as plain stores
     /// (paper §6.3.1).
     pub serial_baseline: bool,
+    /// Host threads simulating this point. `1` (the default) is the serial
+    /// oracle path; `>= 2` enables bound-weave mode, which moves the shared
+    /// L3/NoC/DRAM fabric onto a dedicated weave thread and overlaps it with
+    /// core simulation. Simulated outcomes are byte-identical either way —
+    /// the determinism contract `tests/sweep_determinism.rs` enforces.
+    pub point_threads: usize,
+    /// Bound-weave epoch length in simulated cycles: the executor drains
+    /// the weave whenever the global clock crosses an epoch boundary,
+    /// bounding how far front and weave drift apart. Outcome-neutral
+    /// (`tests/props.rs` pins that); only host-side overlap changes.
+    pub weave_epoch: Cycle,
+    /// Flow-control cap on fetches in flight on the weave before the front
+    /// self-drains. Outcome-neutral, like `weave_epoch`.
+    pub weave_inflight: usize,
 }
+
+/// Default bound-weave epoch length (simulated cycles). Long enough that
+/// epoch drains are rare next to task-end barriers, short enough to bound
+/// front/weave drift; the exact value never affects simulated outcomes.
+pub const DEFAULT_WEAVE_EPOCH: Cycle = 100_000;
+
+/// Default flow-control cap on weave-inflight fetches.
+pub const DEFAULT_WEAVE_INFLIGHT: usize = 4096;
 
 impl ExecConfig {
     /// A scaled machine with the given thread count and paper-default knobs.
@@ -67,6 +89,9 @@ impl ExecConfig {
             task_limit: 3_000_000,
             poll_interval: 200,
             serial_baseline: false,
+            point_threads: 1,
+            weave_epoch: DEFAULT_WEAVE_EPOCH,
+            weave_inflight: DEFAULT_WEAVE_INFLIGHT,
         }
     }
 
@@ -226,6 +251,13 @@ pub fn run_with_prefetcher(
 
     sched.seed(op.initial_tasks());
 
+    // Bound-weave mode: move the shared fabric onto its weave thread.
+    // `enable_weave` refuses (returns false) under tracing, pinning traced
+    // points to the serial oracle path.
+    let weave = cfg.point_threads > 1 && mem.enable_weave(cfg.weave_inflight.max(1));
+    let epoch_len = cfg.weave_epoch.max(1);
+    let mut next_epoch = epoch_len;
+
     let tracer = mem.tracer().clone();
     let mut accounting = CycleAccounting::new(cfg.threads);
     let mut clock = vec![0 as Cycle; cfg.threads];
@@ -262,6 +294,13 @@ pub fn run_with_prefetcher(
         // Advance the thread with the smallest clock.
         let Reverse((now, idx)) = ready.pop().expect("one entry per thread");
         debug_assert_eq!(now, clock[idx]);
+        // Epoch boundary: the global clock (min over threads) crossed into
+        // a new epoch — barrier the weave so front and weave never drift
+        // more than one epoch apart.
+        if weave && now >= next_epoch {
+            mem.drain_weave();
+            next_epoch = (now / epoch_len + 1) * epoch_len;
+        }
         sched.tick(now, mem);
 
         let deq = sched.dequeue(idx, now, mem);
@@ -351,6 +390,10 @@ pub fn run_with_prefetcher(
         }
         ready.push(Reverse((clock[idx], idx)));
     }
+
+    // End of simulation: settle every outstanding fetch and bring the
+    // fabric home before any stats are read.
+    mem.finish_weave();
 
     report.delinquent_loads = counters.delinquent_loads;
     report.total_loads = counters.total_loads;

@@ -10,6 +10,16 @@ use crate::contend::GapTracker;
 use crate::cycles::Cycle;
 use crate::stats::{Counter, Distribution, Histogram};
 
+/// Uncontended X-Y latency between two flat tile ids on a `width`-wide
+/// row-major mesh. Pure function of the geometry: usable for coherence cost
+/// estimates while the stateful [`Noc`] lives on the weave thread.
+pub fn ideal_latency_between(width: usize, hop_cycles: Cycle, src: usize, dst: usize) -> Cycle {
+    let (ax, ay) = (src % width, (src / width) % width);
+    let (bx, by) = (dst % width, (dst / width) % width);
+    let hops = (ax.abs_diff(bx) + ay.abs_diff(by)).max(1) as Cycle;
+    hops * hop_cycles
+}
+
 /// A tile coordinate on the mesh.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Tile {
@@ -137,10 +147,7 @@ impl Noc {
 
     /// Uncontended latency between two tiles (diagnostic; no state change).
     pub fn ideal_latency(&self, src: usize, dst: usize) -> Cycle {
-        let a = self.tile_of(src);
-        let b = self.tile_of(dst);
-        let hops = (a.x.abs_diff(b.x) + a.y.abs_diff(b.y)).max(1) as Cycle;
-        hops * self.hop_cycles
+        ideal_latency_between(self.width, self.hop_cycles, src, dst)
     }
 
     /// Total packets routed.

@@ -1,0 +1,232 @@
+//! Bound-weave split of the memory hierarchy's shared half.
+//!
+//! ZSim-style bound-weave simulation separates per-core ("bound") state from
+//! globally ordered shared ("weave") state. In this reproduction the split
+//! runs through the middle of [`crate::hierarchy::MemoryHierarchy`]:
+//!
+//! * **Bound-owned (front)**: private L1/L2 caches, the sharer directory,
+//!   prefetch credits and arrival table, per-core stats, schedulers and
+//!   worklists. These are advanced by the executor thread in exact serial
+//!   order.
+//! * **Weave-owned**: the shared L3 array, the mesh NoC link reservations
+//!   ([`crate::contend::GapTracker`] timelines), and the DRAM channel queues
+//!   — everything a shared fetch touches beyond the private caches. This
+//!   half is packaged as [`SharedFabric`] so it can be carried by a
+//!   dedicated weave thread.
+//!
+//! The contract that keeps outputs byte-identical to the serial oracle:
+//! the front emits fetch events in its (serial) execution order, each
+//! stamped with a monotonically increasing sequence number, and the weave
+//! consumes them strictly in that canonical `(timestamp, core, seq)` order
+//! — which, because the front is a single linearized producer, is exactly
+//! the order the serial simulator would have performed them. Disjoint state
+//! ownership plus identical operation order means identical final state and
+//! identical latencies; the only thing that changes is *when in host time*
+//! the shared-fabric work happens, which is what buys the overlap.
+//!
+//! Replies flow back asynchronously and are folded in at *barriers*: the
+//! end of each task's charge (before the core model runs), whenever shared
+//! state must be read synchronously, and at fixed-length simulated-time
+//! epoch boundaries driven by the executor (see
+//! `minnow_runtime::sim_exec`).
+
+use std::sync::mpsc;
+
+use crate::cache::Cache;
+use crate::cycles::Cycle;
+use crate::dram::Dram;
+use crate::hierarchy::CacheLevel;
+use crate::noc::Noc;
+
+/// The weave-owned half of the hierarchy: shared L3 + NoC + DRAM.
+///
+/// All methods are pure functions of fabric state and their arguments, so
+/// processing the canonical event order on any thread reproduces the serial
+/// state evolution exactly.
+#[derive(Debug)]
+pub(crate) struct SharedFabric {
+    /// Shared banked L3.
+    pub l3: Cache,
+    /// Mesh NoC (per-link reservation timelines).
+    pub noc: Noc,
+    /// Multi-channel DRAM (per-channel queues).
+    pub dram: Dram,
+    /// L3 access latency (needed to time the DRAM leg of a fetch).
+    pub l3_latency: Cycle,
+}
+
+/// What one shared fetch produced, in fabric-state order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FetchOutcome {
+    /// Latency beyond the private caches (NoC + L3 [+ DRAM] + NoC).
+    pub beyond: Cycle,
+    /// `L3` on an L3 hit, `Memory` on an L3 miss.
+    pub level: CacheLevel,
+    /// DRAM queueing delay (meaningful only when `level == Memory`), for
+    /// the `dram_queue` trace counter.
+    pub dram_queued: Cycle,
+    /// Cumulative NoC hops after this fetch, for the `noc_hops` trace
+    /// counter.
+    pub noc_hops: u64,
+}
+
+impl SharedFabric {
+    /// Services one line fetch from `core` against bank `bank` starting at
+    /// `now`: routes the request, probes the L3, goes to DRAM on a miss
+    /// (filling the L3), and routes the response back.
+    ///
+    /// This is the exact body of the serial `fetch_from_shared`, minus the
+    /// front-owned parts (per-core miss counters, tracer emission) which
+    /// the hierarchy applies from the outcome.
+    pub fn fetch(&mut self, core: usize, bank: usize, line: u64, now: Cycle) -> FetchOutcome {
+        let req = self.noc.route(core, bank, 16, now);
+        let l3 = self.l3.access_line(line, false);
+        if l3.hit {
+            let resp = self.noc.route(bank, core, 64, now + req + self.l3_latency);
+            return FetchOutcome {
+                beyond: req + self.l3_latency + resp,
+                level: CacheLevel::L3,
+                dram_queued: 0,
+                noc_hops: self.noc.total_hops(),
+            };
+        }
+        let mem = self.dram.access(line, now + req + self.l3_latency);
+        self.l3.fill_line(line, false, false);
+        let resp = self
+            .noc
+            .route(bank, core, 64, now + req + self.l3_latency + mem);
+        FetchOutcome {
+            beyond: req + self.l3_latency + mem + resp,
+            level: CacheLevel::Memory,
+            dram_queued: mem - self.dram.base_latency(),
+            noc_hops: self.noc.total_hops(),
+        }
+    }
+}
+
+/// One fetch event in the canonical weave order.
+#[derive(Debug, Clone, Copy)]
+struct FetchEvent {
+    seq: u64,
+    core: u32,
+    bank: u32,
+    line: u64,
+    now: Cycle,
+}
+
+/// A serviced fetch flowing back to the front.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FetchReply {
+    /// Sequence number of the originating event.
+    pub seq: u64,
+    /// Core the fetch was issued for (per-core miss accounting).
+    pub core: u32,
+    /// Latency beyond the private caches.
+    pub beyond: Cycle,
+    /// Servicing level (`L3` or `Memory`).
+    pub level: CacheLevel,
+}
+
+/// Front-side handle to the weave thread: issues fetch events, tracks how
+/// many are outstanding, and drains replies at barriers.
+#[derive(Debug)]
+pub(crate) struct WeaveClient {
+    tx: mpsc::Sender<FetchEvent>,
+    rx: mpsc::Receiver<FetchReply>,
+    handle: Option<std::thread::JoinHandle<SharedFabric>>,
+    outstanding: usize,
+    next_seq: u64,
+    max_inflight: usize,
+    /// Reusable drain buffer (steady-state drains allocate nothing).
+    drained: Vec<FetchReply>,
+}
+
+impl WeaveClient {
+    /// Moves `fabric` onto a fresh weave thread. `max_inflight` bounds how
+    /// many fetches may be outstanding before the front must drain (flow
+    /// control only — the value never affects simulated outcomes).
+    pub fn spawn(fabric: SharedFabric, max_inflight: usize) -> Self {
+        let (tx, req_rx) = mpsc::channel::<FetchEvent>();
+        let (reply_tx, rx) = mpsc::channel::<FetchReply>();
+        let handle = std::thread::Builder::new()
+            .name("minnow-weave".into())
+            .spawn(move || {
+                let mut fabric = fabric;
+                // Strict FIFO: events are replayed in emission (= canonical
+                // serial) order, so fabric state evolves exactly as in the
+                // serial oracle.
+                while let Ok(ev) = req_rx.recv() {
+                    let out = fabric.fetch(ev.core as usize, ev.bank as usize, ev.line, ev.now);
+                    if reply_tx
+                        .send(FetchReply {
+                            seq: ev.seq,
+                            core: ev.core,
+                            beyond: out.beyond,
+                            level: out.level,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                fabric
+            })
+            .expect("spawning the weave thread");
+        WeaveClient {
+            tx,
+            rx,
+            handle: Some(handle),
+            outstanding: 0,
+            next_seq: 0,
+            max_inflight: max_inflight.max(1),
+            drained: Vec::new(),
+        }
+    }
+
+    /// Emits one fetch event; returns its sequence number.
+    pub fn issue(&mut self, core: usize, bank: usize, line: u64, now: Cycle) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.outstanding += 1;
+        self.tx
+            .send(FetchEvent {
+                seq,
+                core: core as u32,
+                bank: bank as u32,
+                line,
+                now,
+            })
+            .expect("weave thread alive while the hierarchy runs");
+        seq
+    }
+
+    /// Whether the front has run past its flow-control window and must
+    /// drain before issuing more work.
+    pub fn over_cap(&self) -> bool {
+        self.outstanding > self.max_inflight
+    }
+
+    /// Blocks until every outstanding fetch has replied; returns the
+    /// replies (in weave order) via the reusable internal buffer.
+    pub fn drain(&mut self) -> &[FetchReply] {
+        self.drained.clear();
+        while self.outstanding > 0 {
+            let reply = self
+                .rx
+                .recv()
+                .expect("weave thread alive while fetches are outstanding");
+            self.outstanding -= 1;
+            self.drained.push(reply);
+        }
+        &self.drained
+    }
+
+    /// Shuts the weave thread down and brings the fabric home. The caller
+    /// must have drained first (no outstanding fetches).
+    pub fn finish(mut self) -> SharedFabric {
+        debug_assert_eq!(self.outstanding, 0, "drain before finishing the weave");
+        let handle = self.handle.take().expect("finish runs once");
+        drop(self.tx); // disconnect: the weave loop exits and returns the fabric
+        handle.join().expect("weave thread exits cleanly")
+    }
+}

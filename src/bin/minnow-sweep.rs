@@ -13,7 +13,9 @@
 //! ```
 //!
 //! Output is deterministic: for a fixed sweep, filter, scale, and seed,
-//! the JSON-lines artifact is byte-identical regardless of `--threads`.
+//! the JSON-lines artifact is byte-identical regardless of `--threads`
+//! (the across-point pool) and `--point-threads` (bound-weave
+//! simulation threads inside each point).
 
 use std::process::ExitCode;
 
@@ -24,6 +26,7 @@ struct Args {
     sweep: Option<String>,
     list: bool,
     threads: Option<usize>,
+    point_threads: Option<usize>,
     filter: Option<String>,
     out: String,
     scale: Option<f64>,
@@ -31,6 +34,7 @@ struct Args {
     stdout: bool,
     trace_out: Option<String>,
     bench_out: Option<String>,
+    bench_baseline: Option<String>,
 }
 
 const USAGE: &str = "\
@@ -42,6 +46,11 @@ sweeps: fig15 | fig16 | credits | channels | smoke
 options:
   --threads N     sweep-pool worker threads (default: MINNOW_SWEEP_THREADS
                   or the machine's available parallelism)
+  --point-threads N
+                  host threads simulating each single point (default 1;
+                  N >= 2 enables bound-weave mode — simulated results
+                  and every artifact stay byte-identical, only host
+                  wall-clock changes; traced points always run serially)
   --filter STR    run only points whose id contains STR
   --out DIR       artifact directory (default target/minnow-sweep)
   --scale X       input scale factor (default: MINNOW_BENCH_SCALE or 0.3)
@@ -54,6 +63,10 @@ options:
   --bench-out F   write a host wall-clock benchmark document to F
                   (per-point wall time, tasks/sec, accesses/sec);
                   simulation results and the JSONL artifact are unchanged
+  --bench-baseline F
+                  regression gate: read a prior --bench-out document
+                  from F and exit non-zero if this run's total wall_ms
+                  exceeds the baseline's by more than 25%
   --list          list sweep names and point counts, then exit
 ";
 
@@ -62,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         sweep: None,
         list: false,
         threads: None,
+        point_threads: None,
         filter: None,
         out: "target/minnow-sweep".into(),
         scale: None,
@@ -69,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
         stdout: false,
         trace_out: None,
         bench_out: None,
+        bench_baseline: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -81,6 +96,13 @@ fn parse_args() -> Result<Args, String> {
             "--threads" => {
                 args.threads = Some(value("--threads")?.parse().map_err(|e| format!("{e}"))?)
             }
+            "--point-threads" => {
+                args.point_threads = Some(
+                    value("--point-threads")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
             "--filter" => args.filter = Some(value("--filter")?),
             "--out" => args.out = value("--out")?,
             "--scale" => args.scale = Some(value("--scale")?.parse().map_err(|e| format!("{e}"))?),
@@ -88,6 +110,7 @@ fn parse_args() -> Result<Args, String> {
             "--stdout" => args.stdout = true,
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--bench-out" => args.bench_out = Some(value("--bench-out")?),
+            "--bench-baseline" => args.bench_baseline = Some(value("--bench-baseline")?),
             other if !other.starts_with('-') && args.sweep.is_none() => {
                 args.sweep = Some(other.to_string())
             }
@@ -96,6 +119,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if let Some(0) = args.threads {
         return Err("--threads must be at least 1".into());
+    }
+    if let Some(0) = args.point_threads {
+        return Err("--point-threads must be at least 1".into());
     }
     if !args.list && args.sweep.is_none() {
         return Err("missing sweep name".into());
@@ -138,6 +164,9 @@ fn main() -> ExitCode {
     let mut cfg = SweepConfig::from_env();
     if let Some(threads) = args.threads {
         cfg.threads = threads;
+    }
+    if let Some(pt) = args.point_threads {
+        cfg.point_threads = pt;
     }
     cfg.filter = args.filter.clone();
     cfg.trace = args.trace_out.is_some();
@@ -224,7 +253,45 @@ fn main() -> ExitCode {
             String::new()
         }
     );
+
+    if let Some(path) = &args.bench_baseline {
+        let doc = match std::fs::read_to_string(path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: reading benchmark baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(baseline_ms) = baseline_wall_ms(&doc) else {
+            eprintln!("error: no \"wall_ms\" field in benchmark baseline {path}");
+            return ExitCode::FAILURE;
+        };
+        let now_ms = result.wall.as_millis() as u64;
+        // >25% slower than the baseline fails the gate. Ratios are
+        // compared in integer arithmetic: now * 100 > baseline * 125.
+        if now_ms * 100 > baseline_ms * 125 {
+            eprintln!(
+                "error: wall-clock regression: {now_ms} ms vs baseline {baseline_ms} ms \
+                 (> +25%; baseline {path})"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench gate: {now_ms} ms vs baseline {baseline_ms} ms (within +25%)");
+    }
     ExitCode::SUCCESS
+}
+
+/// Extracts the total `"wall_ms"` value from a `--bench-out` document.
+///
+/// The document is this binary's own fixed-order serialization
+/// (`minnow-bench-wallclock/v1`), whose first `"wall_ms"` key is the
+/// sweep total — per-point timings use `"wall_us"` — so a plain scan
+/// suffices and avoids a JSON-parser dependency.
+fn baseline_wall_ms(doc: &str) -> Option<u64> {
+    let at = doc.find("\"wall_ms\":")? + "\"wall_ms\":".len();
+    let rest = &doc[at..];
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
 }
 
 fn sweep_axes(name: &str) -> &'static str {

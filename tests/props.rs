@@ -1,7 +1,10 @@
 //! Property-based tests over the core data structures and invariants.
 
+use std::sync::OnceLock;
+
 use proptest::prelude::*;
 
+use minnow::bench::runner::BenchRun;
 use minnow::bench::sweep::{Sweep, SweepConfig, SweepParams};
 use minnow::engine::CreditPool;
 use minnow::graph::Csr;
@@ -208,6 +211,29 @@ fn any_sweep_params() -> impl Strategy<Value = SweepParams> {
         seed,
         headline_threads: headline,
         max_threads: max,
+    })
+}
+
+/// Reference points for the bound-weave epoch property: two fig16
+/// configurations at the golden parameters (scale 0.04, seed 42 — the
+/// exact sweep `tests/golden_reports.rs` pins, so the serial makespans
+/// computed here *are* the golden makespans), chosen to exercise both
+/// deferral paths — WDP prefetch fills and plain demand charges.
+fn weave_reference_points() -> &'static Vec<(String, BenchRun, u64)> {
+    static REF: OnceLock<Vec<(String, BenchRun, u64)>> = OnceLock::new();
+    REF.get_or_init(|| {
+        let params = SweepParams {
+            scale: 0.04,
+            seed: 42,
+            headline_threads: 16,
+            max_threads: 64,
+        };
+        Sweep::fig16(&params)
+            .points
+            .iter()
+            .filter(|p| p.id == "fig16/SSSP/wdp" || p.id == "fig16/CC/minnow")
+            .map(|p| (p.id.clone(), p.run.clone(), p.run.execute().makespan))
+            .collect()
     })
 }
 
@@ -564,6 +590,27 @@ proptest! {
             prop_assert_eq!(forward.core(core).total(), makespan);
         }
         prop_assert_eq!(forward.merged().total(), makespan * cores as u64);
+    }
+
+    /// Bound-weave scheduling knobs are outcome-neutral: for any epoch
+    /// length, in-flight cap, and thread count, the woven simulation
+    /// reproduces the golden fig16 makespans exactly. Epochs only decide
+    /// *when* the executor drains the weave, and the cap only bounds how
+    /// many fetches ride in flight — neither may leak into simulated time.
+    #[test]
+    fn weave_epoch_preserves_golden_makespans(epoch in 1u64..300_000,
+                                              cap in 1usize..1024,
+                                              point_threads in 2usize..5) {
+        for (id, run, golden) in weave_reference_points() {
+            let mut woven = run.clone();
+            woven.point_threads = point_threads;
+            woven.weave_epoch = Some(epoch);
+            woven.weave_inflight = Some(cap);
+            let report = woven.execute();
+            prop_assert_eq!(report.makespan, *golden,
+                "{}: epoch {} cap {} threads {} changed the makespan",
+                id, epoch, cap, point_threads);
+        }
     }
 
     /// CSR construction round-trips an arbitrary edge list.

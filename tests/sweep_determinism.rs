@@ -1,13 +1,17 @@
 //! Determinism contract of the parallel sweep engine: the JSON-lines
 //! artifact is byte-identical whether points run one at a time or fan
-//! out across a work-stealing pool, and identical across repeated runs.
+//! out across a work-stealing pool, whether each point is simulated
+//! serially or in bound-weave mode (`--point-threads >= 2`), and
+//! identical across repeated runs.
 //!
 //! The wall-clock speedup check at the bottom is gated on the machine's
 //! available parallelism (CI containers are often single-core; a 1-core
 //! box cannot show parallel speedup, but it *can* — and does — verify
 //! byte-identical output at any pool width).
 
+use minnow::bench::runner::{BenchRun, HwKind, SchedSpec};
 use minnow::bench::sweep::{run_sweep, Sweep, SweepConfig, SweepParams};
+use minnow::runtime::sim_exec::RunReport;
 
 fn tiny_params() -> SweepParams {
     SweepParams {
@@ -198,6 +202,122 @@ fn breakdown_rows_are_closed() {
             table.contains(&point.id),
             "breakdown table is missing {}",
             point.id
+        );
+    }
+}
+
+/// The bound-weave output contract: any `--point-threads` value yields
+/// byte-identical artifacts — JSONL, cycle-accounting breakdowns, and
+/// the human-readable table — not merely equal headline numbers.
+#[test]
+fn point_threads_never_change_any_artifact() {
+    let sweep = Sweep::smoke(&tiny_params());
+    let serial = run_sweep(&sweep, &SweepConfig::serial());
+    for pt in [2, 4] {
+        let woven = run_sweep(&sweep, &SweepConfig::serial().with_point_threads(pt));
+        assert_eq!(
+            serial.jsonl(),
+            woven.jsonl(),
+            "--point-threads {pt} must be byte-identical to serial simulation"
+        );
+        assert_eq!(
+            serial.breakdown_jsonl(),
+            woven.breakdown_jsonl(),
+            "--point-threads {pt} perturbed the cycle-accounting artifact"
+        );
+        assert_eq!(
+            serial.breakdown_table(),
+            woven.breakdown_table(),
+            "--point-threads {pt} perturbed the breakdown table"
+        );
+    }
+}
+
+/// Same contract over the full fig16 sweep (the golden figure): the
+/// artifact a 4-thread bound-weave run writes is the one the serial
+/// oracle writes, byte for byte, even with the across-point pool active.
+#[test]
+fn point_threads_never_change_fig16_artifacts() {
+    let sweep = Sweep::fig16(&tiny_params());
+    let serial = run_sweep(&sweep, &SweepConfig::serial());
+    let woven = run_sweep(
+        &sweep,
+        &SweepConfig::serial().with_threads(2).with_point_threads(4),
+    );
+    assert_eq!(serial.jsonl(), woven.jsonl());
+    assert_eq!(serial.breakdown_jsonl(), woven.breakdown_jsonl());
+}
+
+/// Trace event streams are part of the determinism contract: traced
+/// points are pinned to the serial oracle (the weave refuses to engage
+/// under a tracer), so requesting `--point-threads` with `--trace-out`
+/// changes nothing — neither the trace document nor the artifacts.
+#[test]
+fn point_threads_never_change_trace_streams() {
+    let sweep = Sweep::smoke(&tiny_params());
+    let traced = run_sweep(&sweep, &SweepConfig::serial().with_trace());
+    let woven = run_sweep(
+        &sweep,
+        &SweepConfig::serial().with_trace().with_point_threads(4),
+    );
+    assert_eq!(
+        traced.chrome_trace_json(),
+        woven.chrome_trace_json(),
+        "point-threads perturbed the trace event stream"
+    );
+    assert_eq!(traced.jsonl(), woven.jsonl());
+    assert_eq!(traced.breakdown_jsonl(), woven.breakdown_jsonl());
+}
+
+/// Every field of a report that any artifact serializes, summarized for
+/// exact comparison across execution modes.
+fn fingerprint(r: &RunReport) -> String {
+    format!(
+        "makespan={} tasks={} instr={} timed_out={} l2_misses={} mem={} \
+         delinquent={} loads={} pf_fills={} pf_used={} supersteps={} \
+         breakdown={:?} idle={} drain={}",
+        r.makespan,
+        r.tasks,
+        r.instructions,
+        r.timed_out,
+        r.l2_misses,
+        r.mem_accesses,
+        r.delinquent_loads,
+        r.total_loads,
+        r.prefetch_fills,
+        r.prefetch_used,
+        r.supersteps,
+        r.breakdown,
+        r.accounting
+            .merged()
+            .get(minnow::sim::stats::CycleBin::Idle),
+        r.accounting
+            .merged()
+            .get(minnow::sim::stats::CycleBin::Drain),
+    )
+}
+
+/// Scheduler configurations the smoke sweep does not cover — the BSP
+/// engine (superstep-barrier epochs) and hardware-prefetcher runs
+/// (which stay serial by design) — must also be invariant under
+/// `point_threads`.
+#[test]
+fn point_threads_never_change_bsp_and_hw_reports() {
+    for sched in [
+        SchedSpec::Bsp(None),
+        SchedSpec::Bsp(Some(0)),
+        SchedSpec::MinnowWithHw(HwKind::Stride),
+        SchedSpec::MinnowWithHw(HwKind::Imp),
+    ] {
+        let mut run = BenchRun::new(minnow::algos::WorkloadKind::Bfs, 2, sched.clone());
+        run.scale = 0.03;
+        let serial = run.execute();
+        run.point_threads = 4;
+        let woven = run.execute();
+        assert_eq!(
+            fingerprint(&serial),
+            fingerprint(&woven),
+            "{sched:?}: point_threads changed the report"
         );
     }
 }

@@ -14,6 +14,10 @@
 //!   fixed per-crate seed and the case index, so failures reproduce
 //!   exactly across runs and machines. Set `PROPTEST_SEED` to explore a
 //!   different stream.
+//! * **`PROPTEST_CASES`.** As upstream: the env var overrides the
+//!   *default* case count (64) for every property that does not pin one
+//!   via `proptest_config`/[`test_runner::Config::with_cases`]. CI sets
+//!   it to a small value to bound suite time; local runs are unchanged.
 
 #![deny(missing_docs)]
 
@@ -34,8 +38,16 @@ pub mod test_runner {
     }
 
     impl Default for Config {
+        /// 64 cases, overridable via the `PROPTEST_CASES` environment
+        /// variable (matching upstream proptest; explicit
+        /// [`Config::with_cases`] configurations are unaffected).
         fn default() -> Self {
-            Config { cases: 64 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .filter(|&c| c > 0)
+                .unwrap_or(64);
+            Config { cases }
         }
     }
 
