@@ -18,6 +18,7 @@
 
 #![deny(missing_docs)]
 
+pub mod cli;
 pub mod json;
 pub mod runner;
 pub mod sweep;

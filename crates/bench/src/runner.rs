@@ -4,7 +4,9 @@
 use std::sync::Arc;
 
 use minnow_algos::WorkloadKind;
+use minnow_core::area::{self, AreaEstimate, Process};
 use minnow_core::offload::{MinnowConfig, MinnowScheduler};
+use minnow_sim::config::EngineParams;
 use minnow_graph::image::GraphImage;
 use minnow_graph::Csr;
 use minnow_prefetch::{Imp, StridePrefetcher};
@@ -78,6 +80,15 @@ pub struct BenchRun {
     pub channels: Option<usize>,
     /// Override ROB size, keeping buffer ratios (Fig. 4).
     pub rob: Option<usize>,
+    /// Override the per-core L2 geometry as `(size_bytes, ways)` — the
+    /// cache the Minnow engine attaches to. The explorer sweeps this
+    /// axis; line size stays at the paper's 64B.
+    pub l2: Option<(usize, usize)>,
+    /// Override the Minnow engine hardware parameters (local/threadlet
+    /// queue depths, refill threshold, data memory). Applies to the
+    /// Minnow scheduler configurations only; the explorer sweeps these
+    /// axes and prices them with the §5.4 area model.
+    pub engine: Option<EngineParams>,
     /// Task limit (timeout guard).
     pub task_limit: u64,
     /// Serial-baseline accounting (atomics as stores).
@@ -105,6 +116,8 @@ impl BenchRun {
             core_mode: CoreMode::realistic(),
             channels: None,
             rob: None,
+            l2: None,
+            engine: None,
             task_limit: 20_000_000,
             serial_baseline: false,
             point_threads: 1,
@@ -145,6 +158,13 @@ impl BenchRun {
         if let Some(rob) = self.rob {
             cfg.sim.ooo = minnow_sim::config::OooParams::scaled_rob(rob);
         }
+        if let Some((size_bytes, ways)) = self.l2 {
+            cfg.sim.l2.size_bytes = size_bytes;
+            cfg.sim.l2.ways = ways;
+            // Fail fast on degenerate geometry instead of deep in the
+            // hierarchy constructor.
+            let _ = cfg.sim.l2.sets();
+        }
         cfg.point_threads = self.point_threads.max(1);
         if let Some(epoch) = self.weave_epoch {
             cfg.weave_epoch = epoch;
@@ -158,6 +178,24 @@ impl BenchRun {
     /// Generates the input graph for this run.
     pub fn input(&self) -> Arc<Csr> {
         self.kind.input(self.scale, self.seed)
+    }
+
+    /// The §5.4 area cost of this configuration's Minnow hardware:
+    /// every engine's SRAM + control logic, priced against the L2 this
+    /// run actually simulates (including any [`BenchRun::l2`] and
+    /// [`BenchRun::engine`] overrides). `None` for configurations with
+    /// no engines (software and BSP schedulers) — their hardware cost
+    /// is zero by construction, which the explorer's objective layer
+    /// represents as an empty estimate rather than a zero-sized engine.
+    pub fn area_estimate(&self, process: Process) -> Option<AreaEstimate> {
+        match self.sched {
+            SchedSpec::Software(_) | SchedSpec::Bsp(_) => None,
+            SchedSpec::Minnow { .. } | SchedSpec::MinnowWithHw(_) => {
+                let params = self.engine.unwrap_or_else(EngineParams::paper);
+                let l2_lines = self.exec_config().sim.l2.lines();
+                Some(area::machine_estimate(&params, l2_lines, self.threads, 1, process))
+            }
+        }
     }
 
     /// Executes the run.
@@ -194,6 +232,9 @@ impl BenchRun {
                 mem.set_tracer(tracer.clone());
                 let mut mc = MinnowConfig::paper(self.kind.lg_bucket());
                 mc.prefetch_credits = *wdp_credits;
+                if let Some(engine) = self.engine {
+                    mc.engine = engine;
+                }
                 let mut sched = MinnowScheduler::new(
                     graph,
                     op.address_map(),
@@ -206,12 +247,16 @@ impl BenchRun {
             SchedSpec::MinnowWithHw(hw) => {
                 let mut mem = MemoryHierarchy::new(&cfg.sim);
                 mem.set_tracer(tracer.clone());
+                let mut mc = MinnowConfig::no_prefetch(self.kind.lg_bucket());
+                if let Some(engine) = self.engine {
+                    mc.engine = engine;
+                }
                 let mut sched = MinnowScheduler::new(
                     graph.clone(),
                     op.address_map(),
                     op.prefetch_kind(),
                     self.threads,
-                    MinnowConfig::no_prefetch(self.kind.lg_bucket()),
+                    mc,
                 );
                 let image = GraphImage::new(&graph, op.address_map());
                 let mut pf: Box<dyn HwPrefetcher> = match hw {
@@ -292,5 +337,51 @@ mod tests {
         assert_eq!(cfg.sim.ooo.rob, 64);
         let r = run.execute();
         assert!(r.tasks > 0);
+    }
+
+    #[test]
+    fn l2_and_engine_overrides_apply_and_change_outcomes() {
+        let mut base = BenchRun::minnow_wdp(WorkloadKind::Bfs, 2);
+        base.scale = 0.03;
+        let mut shrunk = base.clone();
+        shrunk.l2 = Some((8 * 1024, 8));
+        assert_eq!(shrunk.exec_config().sim.l2.size_bytes, 8 * 1024);
+        assert_eq!(shrunk.exec_config().sim.l2.ways, 8);
+        let r_base = base.execute();
+        let r_shrunk = shrunk.execute();
+        assert!(r_base.tasks > 0 && r_shrunk.tasks > 0);
+        assert!(
+            r_shrunk.l2_misses > r_base.l2_misses,
+            "an 8KB L2 must miss more than the default ({} vs {})",
+            r_shrunk.l2_misses,
+            r_base.l2_misses
+        );
+
+        let mut tiny_queue = base.clone();
+        let mut params = EngineParams::paper();
+        params.local_queue = 4;
+        params.refill_threshold = 2;
+        tiny_queue.engine = Some(params);
+        let r_tiny = tiny_queue.execute();
+        assert!(r_tiny.tasks > 0);
+        assert_ne!(
+            r_tiny.makespan, r_base.makespan,
+            "a 4-entry local queue must change engine behaviour"
+        );
+    }
+
+    #[test]
+    fn area_estimate_prices_engines_only() {
+        let minnow = BenchRun::minnow(WorkloadKind::Bfs, 4);
+        let est = minnow.area_estimate(Process::Nm14).expect("minnow has engines");
+        assert!(est.total_mm2() > 0.0);
+        // Four per-core engines cost four single-engine estimates.
+        let one = BenchRun::minnow(WorkloadKind::Bfs, 1)
+            .area_estimate(Process::Nm14)
+            .unwrap();
+        assert!((est.total_mm2() - 4.0 * one.total_mm2()).abs() < 1e-12);
+        assert!(BenchRun::software_default(WorkloadKind::Bfs, 4)
+            .area_estimate(Process::Nm14)
+            .is_none());
     }
 }

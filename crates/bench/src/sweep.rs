@@ -29,6 +29,7 @@
 //! * wall-clock measurements never appear in per-point records; they are
 //!   confined to the summary's `volatile` section.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -403,6 +404,28 @@ pub struct SweepResult {
     pub point_threads: usize,
     /// Wall-clock duration of the whole sweep (volatile).
     pub wall: Duration,
+    /// Selected points left unexecuted because [`SweepHooks::cancel`]
+    /// fired. Zero for an uncancelled sweep; when non-zero, `points`
+    /// holds only the completed subset (still in enumeration order).
+    pub skipped: usize,
+}
+
+/// Observation and control hooks for [`run_sweep_observed`]: callers that
+/// drive sweeps programmatically (the explorer) can account per-point
+/// cost as points retire and stop a sweep between points.
+#[derive(Default)]
+pub struct SweepHooks<'a> {
+    /// Cooperative cancellation: workers check this before *starting*
+    /// each point; a point already simulating always completes. The
+    /// completed subset is whichever points had started when the flag
+    /// flipped — completion order is pool-dependent, so cancelled
+    /// sweeps trade the byte-identity contract for early exit.
+    pub cancel: Option<&'a AtomicBool>,
+    /// Called once per completed point, from the worker that simulated
+    /// it (concurrently under a parallel pool). Gets the point's cost:
+    /// its full [`PointResult`], including simulated task count and
+    /// host wall time.
+    pub on_point: Option<&'a (dyn Fn(&PointResult) + Sync)>,
 }
 
 /// Runs every selected point of a sweep across a work-stealing pool.
@@ -413,6 +436,13 @@ pub struct SweepResult {
 /// dynamically, so this termination check cannot lose work: a task is
 /// only ever *moved* between queues while the thief holds it.
 pub fn run_sweep(sweep: &Sweep, cfg: &SweepConfig) -> SweepResult {
+    run_sweep_observed(sweep, cfg, &SweepHooks::default())
+}
+
+/// [`run_sweep`] with [`SweepHooks`]: per-point cost observation and
+/// cooperative cancellation. With default hooks the behaviour (and the
+/// determinism contract) is exactly [`run_sweep`]'s.
+pub fn run_sweep_observed(sweep: &Sweep, cfg: &SweepConfig, hooks: &SweepHooks) -> SweepResult {
     let t0 = Instant::now();
     let selected = sweep.selected(cfg);
     let pool = cfg.threads.max(1).min(selected.len().max(1));
@@ -431,6 +461,11 @@ pub fn run_sweep(sweep: &Sweep, cfg: &SweepConfig) -> SweepResult {
             let (selected, slots, injector, stealers) = (&selected, &slots, &injector, &stealers);
             s.spawn(move |_| {
                 while let Some(slot) = next_task(&local, injector, stealers) {
+                    if hooks.cancel.is_some_and(|c| c.load(Ordering::Acquire)) {
+                        // Leave the slot unexecuted; keep draining the
+                        // queues so every worker terminates promptly.
+                        continue;
+                    }
                     let point = selected[slot];
                     let mut run = point.run.clone();
                     run.point_threads = cfg.point_threads.max(1);
@@ -451,6 +486,9 @@ pub fn run_sweep(sweep: &Sweep, cfg: &SweepConfig) -> SweepResult {
                         trace,
                         wall: p0.elapsed(),
                     };
+                    if let Some(observe) = hooks.on_point {
+                        observe(&result);
+                    }
                     slots.lock().unwrap_or_else(|e| e.into_inner())[slot] = Some(result);
                 }
             });
@@ -458,18 +496,21 @@ pub fn run_sweep(sweep: &Sweep, cfg: &SweepConfig) -> SweepResult {
     })
     .expect("sweep pool panicked");
 
-    let points = slots
-        .into_inner()
-        .unwrap_or_else(|e| e.into_inner())
-        .into_iter()
-        .map(|r| r.expect("every selected point must have run"))
-        .collect();
+    let filled: Vec<Option<PointResult>> = slots.into_inner().unwrap_or_else(|e| e.into_inner());
+    let cancelled = hooks.cancel.is_some_and(|c| c.load(Ordering::Acquire));
+    let skipped = filled.iter().filter(|r| r.is_none()).count();
+    assert!(
+        cancelled || skipped == 0,
+        "every selected point must have run in an uncancelled sweep"
+    );
+    let points = filled.into_iter().flatten().collect();
     SweepResult {
         sweep: sweep.name.clone(),
         points,
         pool_threads: pool,
         point_threads: cfg.point_threads.max(1),
         wall: t0.elapsed(),
+        skipped,
     }
 }
 
@@ -853,5 +894,50 @@ mod tests {
         let serial = run_sweep(&sweep, &SweepConfig::serial());
         let parallel = run_sweep(&sweep, &SweepConfig::serial().with_threads(4));
         assert_eq!(serial.jsonl(), parallel.jsonl());
+    }
+
+    #[test]
+    fn hooks_observe_every_point_and_cancel_stops_early() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let sweep = Sweep::smoke(&tiny_params());
+
+        // Cost observation: on_point fires once per point and sees the
+        // same task totals the results report.
+        let observed_tasks = AtomicU64::new(0);
+        let observed_points = AtomicU64::new(0);
+        let observe = |p: &PointResult| {
+            observed_tasks.fetch_add(p.report.tasks, Ordering::Relaxed);
+            observed_points.fetch_add(1, Ordering::Relaxed);
+        };
+        let hooks = SweepHooks {
+            cancel: None,
+            on_point: Some(&observe),
+        };
+        let result = run_sweep_observed(&sweep, &SweepConfig::serial(), &hooks);
+        assert_eq!(result.skipped, 0);
+        assert_eq!(observed_points.load(Ordering::Relaxed), result.points.len() as u64);
+        let total: u64 = result.points.iter().map(|p| p.report.tasks).sum();
+        assert_eq!(observed_tasks.load(Ordering::Relaxed), total);
+
+        // Cancellation after the second point: the remaining points are
+        // skipped, and the completed subset keeps enumeration order.
+        let cancel = AtomicBool::new(false);
+        let seen = AtomicU64::new(0);
+        let trip = |_: &PointResult| {
+            if seen.fetch_add(1, Ordering::Relaxed) + 1 >= 2 {
+                cancel.store(true, Ordering::Release);
+            }
+        };
+        let hooks = SweepHooks {
+            cancel: Some(&cancel),
+            on_point: Some(&trip),
+        };
+        let partial = run_sweep_observed(&sweep, &SweepConfig::serial(), &hooks);
+        assert_eq!(partial.points.len(), 2);
+        assert_eq!(partial.skipped, sweep.points.len() - 2);
+        let ids: Vec<&str> = partial.points.iter().map(|p| p.id.as_str()).collect();
+        let expected: Vec<&str> = sweep.points[..2].iter().map(|p| p.id.as_str()).collect();
+        assert_eq!(ids, expected, "serial pool completes a prefix");
     }
 }

@@ -59,6 +59,17 @@ impl AreaEstimate {
     pub fn slice_overhead(&self) -> f64 {
         self.total_mm2() / SKYLAKE_SLICE_MM2
     }
+
+    /// Overhead relative to `slices` Skylake slices — the per-slice
+    /// figure for a [`machine_estimate`] covering that many cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slices` is zero.
+    pub fn overhead_of_slices(&self, slices: usize) -> f64 {
+        assert!(slices > 0, "need at least one slice");
+        self.total_mm2() / (SKYLAKE_SLICE_MM2 * slices as f64)
+    }
 }
 
 /// Bytes of SRAM one engine needs, including the 1-bit-per-L2-line prefetch
@@ -80,6 +91,32 @@ pub fn estimate(params: &EngineParams, l2_lines: usize, process: Process) -> Are
     AreaEstimate {
         sram_mm2: sram_kb * process.sram_mm2_per_kb(),
         logic_mm2: process.control_unit_mm2(),
+    }
+}
+
+/// Estimates the total Minnow area of a whole machine configuration:
+/// `threads` cores sharing engines in groups of `cores_per_engine`
+/// (paper §4's resource-reduction option; 1 = the evaluated per-core
+/// attachment). This is the per-configuration cost the design-space
+/// explorer trades against simulated speedup.
+///
+/// # Panics
+///
+/// Panics if `threads` or `cores_per_engine` is zero.
+pub fn machine_estimate(
+    params: &EngineParams,
+    l2_lines: usize,
+    threads: usize,
+    cores_per_engine: usize,
+    process: Process,
+) -> AreaEstimate {
+    assert!(threads > 0, "need at least one core");
+    assert!(cores_per_engine > 0, "need at least one core per engine");
+    let engines = threads.div_ceil(cores_per_engine) as f64;
+    let one = estimate(params, l2_lines, process);
+    AreaEstimate {
+        sram_mm2: one.sram_mm2 * engines,
+        logic_mm2: one.logic_mm2 * engines,
     }
 }
 

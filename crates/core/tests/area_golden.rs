@@ -1,0 +1,149 @@
+//! Golden area/power numbers for the §5.4 model, per engine
+//! configuration, plus monotonicity properties.
+//!
+//! The design-space explorer uses this model as one half of its
+//! objective (speedup vs. area), so a silent drift here would silently
+//! reshape every Pareto frontier the explorer emits. These tests pin
+//! the exact byte inventory and mm² figures for a grid of engine
+//! configurations; if the model changes deliberately, regenerate the
+//! table below and say so in the commit.
+
+use minnow_core::area::{
+    engine_sram_bytes, estimate, machine_estimate, Process, SKYLAKE_SLICE_MM2,
+};
+use minnow_sim::config::EngineParams;
+use proptest::prelude::*;
+
+/// The paper's 256KB L2 with 64B lines.
+const PAPER_L2_LINES: usize = 256 * 1024 / 64;
+
+/// One engine configuration in the golden grid.
+fn configured(local_queue: usize, threadlet_queue: usize, load_buffer: usize, dmem: usize) -> EngineParams {
+    let mut p = EngineParams::paper();
+    p.local_queue = local_queue;
+    p.threadlet_queue = threadlet_queue;
+    p.load_buffer = load_buffer;
+    p.data_memory_bytes = dmem;
+    p
+}
+
+/// Golden SRAM inventories: (local_queue, threadlet_queue, load_buffer,
+/// dmem_bytes, l2_lines) -> exact engine SRAM bytes.
+///
+/// Derivation (the model's fixed costs): 16B/task local queue +
+/// 8B/entry threadlet queue + 16B/entry load-buffer CAM + 2KB imem +
+/// dmem + ceil(l2_lines/8) prefetch-metadata bytes.
+const GOLDEN_SRAM_BYTES: &[(usize, usize, usize, usize, usize, usize)] = &[
+    // The paper's evaluated engine: 1KB + 1KB + 0.5KB + 2KB + 2KB + 512B.
+    (64, 128, 32, 2048, PAPER_L2_LINES, 7168),
+    // Halved front-end queue.
+    (32, 128, 32, 2048, PAPER_L2_LINES, 6656),
+    // Quarter-size engine on a quarter-size L2 (the explorer's smallest).
+    (16, 32, 8, 512, 1024, 3328),
+    // Doubled everything on a doubled L2.
+    (128, 256, 64, 4096, 8192, 12288),
+];
+
+#[test]
+fn golden_sram_inventories() {
+    for &(lq, tq, lb, dmem, lines, want) in GOLDEN_SRAM_BYTES {
+        let got = engine_sram_bytes(&configured(lq, tq, lb, dmem), lines);
+        assert_eq!(
+            got, want,
+            "SRAM bytes drifted for lq={lq} tq={tq} lb={lb} dmem={dmem} lines={lines}"
+        );
+    }
+}
+
+#[test]
+fn golden_area_numbers_per_process() {
+    // The area model is pure arithmetic over the SRAM inventory:
+    // sram_kb * density + control logic. Pin the paper engine exactly.
+    let paper = estimate(&EngineParams::paper(), PAPER_L2_LINES, Process::Nm28);
+    assert!((paper.sram_mm2 - 7.0 * 0.003).abs() < 1e-12, "28nm SRAM = {}", paper.sram_mm2);
+    assert!((paper.logic_mm2 - 0.4).abs() < 1e-12);
+    assert!((paper.total_mm2() - 0.421).abs() < 1e-12);
+
+    let scaled = estimate(&EngineParams::paper(), PAPER_L2_LINES, Process::Nm14);
+    assert!((scaled.sram_mm2 - 7.0 * 0.0008).abs() < 1e-12, "14nm SRAM = {}", scaled.sram_mm2);
+    assert!((scaled.logic_mm2 - 0.1).abs() < 1e-12);
+    assert!((scaled.total_mm2() - 0.1056).abs() < 1e-12);
+    // The paper's headline claim, machine-checked: < 1% of a slice.
+    assert!((scaled.slice_overhead() - 0.1056 / SKYLAKE_SLICE_MM2).abs() < 1e-15);
+    assert!(scaled.slice_overhead() < 0.01);
+}
+
+#[test]
+fn golden_machine_estimates() {
+    // 16 per-core engines: 16x one engine, and per-slice overhead is
+    // identical to the single-engine figure (one engine per slice).
+    let one = estimate(&EngineParams::paper(), PAPER_L2_LINES, Process::Nm14);
+    let m = machine_estimate(&EngineParams::paper(), PAPER_L2_LINES, 16, 1, Process::Nm14);
+    assert!((m.total_mm2() - 16.0 * one.total_mm2()).abs() < 1e-12);
+    assert!((m.overhead_of_slices(16) - one.slice_overhead()).abs() < 1e-15);
+
+    // Shared engines (4 cores each): a quarter of the engines.
+    let shared = machine_estimate(&EngineParams::paper(), PAPER_L2_LINES, 16, 4, Process::Nm14);
+    assert!((shared.total_mm2() - 4.0 * one.total_mm2()).abs() < 1e-12);
+
+    // Ragged division rounds the engine count up.
+    let ragged = machine_estimate(&EngineParams::paper(), PAPER_L2_LINES, 5, 4, Process::Nm14);
+    assert!((ragged.total_mm2() - 2.0 * one.total_mm2()).abs() < 1e-12);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Growing any buffer, the L2, or the thread count never shrinks
+    /// the configuration's area — the explorer's cost axis is monotone
+    /// in every structural parameter.
+    #[test]
+    fn area_is_monotone_in_structures_and_threads(
+        local_queue in 1usize..512,
+        threadlet_queue in 1usize..1024,
+        load_buffer in 1usize..256,
+        dmem in 64usize..16384,
+        l2_lines in 64usize..16384,
+        threads in 1usize..64,
+        grow_axis in 0usize..6,
+    ) {
+        let base = configured(local_queue, threadlet_queue, load_buffer, dmem);
+        let mut grown = base;
+        let mut grown_lines = l2_lines;
+        let mut grown_threads = threads;
+        match grow_axis {
+            0 => grown.local_queue *= 2,
+            1 => grown.threadlet_queue *= 2,
+            2 => grown.load_buffer *= 2,
+            3 => grown.data_memory_bytes *= 2,
+            4 => grown_lines *= 2,
+            _ => grown_threads += 1,
+        }
+        for process in [Process::Nm28, Process::Nm14] {
+            let a = machine_estimate(&base, l2_lines, threads, 1, process);
+            let b = machine_estimate(&grown, grown_lines, grown_threads, 1, process);
+            prop_assert!(
+                b.total_mm2() >= a.total_mm2(),
+                "axis {grow_axis}: {} < {}",
+                b.total_mm2(),
+                a.total_mm2()
+            );
+            prop_assert!(b.sram_mm2 >= a.sram_mm2);
+            prop_assert!(b.logic_mm2 >= a.logic_mm2);
+        }
+    }
+
+    /// Sharing engines across more cores never increases area.
+    #[test]
+    fn sharing_engines_never_costs_more(
+        threads in 1usize..64,
+        group_a in 1usize..8,
+        group_b in 1usize..8,
+    ) {
+        let (small, large) = (group_a.min(group_b), group_a.max(group_b));
+        let p = EngineParams::paper();
+        let a = machine_estimate(&p, PAPER_L2_LINES, threads, small, Process::Nm14);
+        let b = machine_estimate(&p, PAPER_L2_LINES, threads, large, Process::Nm14);
+        prop_assert!(b.total_mm2() <= a.total_mm2());
+    }
+}

@@ -1,0 +1,354 @@
+//! Objective layer and Pareto frontier artifact.
+//!
+//! The explorer's objective combines two axes: *speedup* — a
+//! configuration's final-rung makespan normalized against the software
+//! baseline for the same workload and thread count — and *area* — the
+//! §5.4 engine silicon estimate at 14nm. A configuration is
+//! Pareto-optimal when no other configuration of the same
+//! (workload, threads) group offers at least its speedup for at most
+//! its area (with one strict); speedups of different workloads are not
+//! comparable, so dominance never crosses groups. The software
+//! baseline sits at (area 0, speedup 1) and is therefore always on the
+//! frontier — the artifact's anchor row.
+//!
+//! The artifact is JSON lines: a header stamped
+//! [`FRONTIER_SCHEMA`] followed by one row per configuration evaluated
+//! at the final rung, sorted by area then speedup then id. Every field
+//! is deterministic (the volatile `wall_us` never leaves the journal),
+//! which is what makes "resumed run ⇒ byte-identical frontier" a
+//! testable contract rather than an aspiration.
+
+use std::fmt::Write as _;
+
+use minnow_bench::json::{number, JsonObject};
+
+use crate::journal::{ExploreError, Journal};
+use crate::space::Space;
+use crate::strategy::Strategy;
+
+/// Schema identifier stamped into the frontier header line.
+pub const FRONTIER_SCHEMA: &str = "minnow-explore-frontier/v1";
+
+/// One evaluated configuration in the frontier document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierRow {
+    /// Configuration id.
+    pub id: String,
+    /// Workload name.
+    pub workload: String,
+    /// Simulated cores.
+    pub threads: usize,
+    /// Whether this is the software baseline.
+    pub baseline: bool,
+    /// Prefetch credits (`None` for baselines and no-prefetch configs).
+    pub credits: Option<u32>,
+    /// L2 capacity in KB (`None` for baselines).
+    pub l2_kb: Option<usize>,
+    /// Engine local-queue depth (`None` for baselines).
+    pub local_queue: Option<usize>,
+    /// Engine refill threshold (`None` for baselines).
+    pub refill: Option<usize>,
+    /// The rung this row was measured at (always the final rung).
+    pub rung: usize,
+    /// The rung's input scale.
+    pub scale: f64,
+    /// Simulated makespan in cycles.
+    pub makespan: u64,
+    /// Tasks executed at this rung.
+    pub tasks: u64,
+    /// Baseline makespan / this makespan; 1.0 for the baseline itself.
+    pub speedup: f64,
+    /// Engine area in mm² at 14nm; 0.0 for the baseline.
+    pub area_mm2: f64,
+    /// Whether this row is Pareto-optimal within its workload/threads
+    /// group.
+    pub pareto: bool,
+}
+
+/// The complete frontier document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierDoc {
+    /// Space name.
+    pub space: String,
+    /// Strategy label.
+    pub strategy: String,
+    /// Sweep seed.
+    pub seed: u64,
+    /// The space's scale rungs.
+    pub rungs: Vec<f64>,
+    /// Configurations in the declared space.
+    pub configs: usize,
+    /// Configurations measured at the final rung (= rows).
+    pub evaluated: usize,
+    /// Total journaled evaluations across all rungs.
+    pub evals: usize,
+    /// Total simulated tasks across all journaled evaluations — the
+    /// cost currency the halving-vs-grid acceptance bound is stated in.
+    pub sim_tasks: u64,
+    /// Rows sorted by (area, -speedup, id).
+    pub rows: Vec<FrontierRow>,
+}
+
+/// Builds the frontier document from a finished search's journal.
+///
+/// # Errors
+///
+/// Fails if a candidate reached the final rung without its baseline —
+/// a broken strategy or a hand-edited journal.
+pub fn build_frontier(
+    space: &Space,
+    strategy: &Strategy,
+    seed: u64,
+    journal: &Journal,
+) -> Result<FrontierDoc, ExploreError> {
+    let configs = space.configs();
+    let last_rung = space.rungs.len() - 1;
+    let mut rows = Vec::new();
+    for point in &configs {
+        let Some(rec) = journal.get(&point.id, last_rung) else {
+            continue;
+        };
+        let speedup = if point.is_baseline() {
+            1.0
+        } else {
+            let base = journal.get(&point.baseline_id(), last_rung).ok_or_else(|| {
+                ExploreError::Journal(format!(
+                    "candidate {} has a final-rung record but its baseline {} does not",
+                    point.id,
+                    point.baseline_id()
+                ))
+            })?;
+            base.makespan as f64 / rec.makespan.max(1) as f64
+        };
+        let params = match point.role {
+            crate::space::Role::Baseline => None,
+            crate::space::Role::Candidate(p) => Some(p),
+        };
+        rows.push(FrontierRow {
+            id: point.id.clone(),
+            workload: point.workload.name().to_string(),
+            threads: point.threads,
+            baseline: point.is_baseline(),
+            credits: params.and_then(|p| p.credits),
+            l2_kb: params.map(|p| p.l2_kb),
+            local_queue: params.map(|p| p.local_queue),
+            refill: params.map(|p| p.refill),
+            rung: last_rung,
+            scale: rec.scale,
+            makespan: rec.makespan,
+            tasks: rec.tasks,
+            speedup,
+            area_mm2: point.area_mm2(),
+            pareto: false,
+        });
+    }
+    mark_pareto(&mut rows);
+    rows.sort_by(|a, b| {
+        a.area_mm2
+            .partial_cmp(&b.area_mm2)
+            .expect("areas are finite")
+            .then(b.speedup.partial_cmp(&a.speedup).expect("speedups are finite"))
+            .then(a.id.cmp(&b.id))
+    });
+    Ok(FrontierDoc {
+        space: space.name.clone(),
+        strategy: strategy.label(),
+        seed,
+        rungs: space.rungs.clone(),
+        configs: configs.len(),
+        evaluated: rows.len(),
+        evals: journal.records().count(),
+        sim_tasks: journal.records().map(|r| r.tasks).sum(),
+        rows,
+    })
+}
+
+/// Marks Pareto-optimal rows: within each (workload, threads) group, a
+/// row survives unless some other row has `area <=` and `speedup >=`
+/// with at least one strict inequality.
+fn mark_pareto(rows: &mut [FrontierRow]) {
+    for i in 0..rows.len() {
+        let dominated = rows.iter().enumerate().any(|(j, other)| {
+            j != i
+                && other.workload == rows[i].workload
+                && other.threads == rows[i].threads
+                && other.area_mm2 <= rows[i].area_mm2
+                && other.speedup >= rows[i].speedup
+                && (other.area_mm2 < rows[i].area_mm2 || other.speedup > rows[i].speedup)
+        });
+        rows[i].pareto = !dominated;
+    }
+}
+
+impl FrontierDoc {
+    /// The ids of Pareto-optimal rows, in artifact order.
+    pub fn pareto_ids(&self) -> Vec<&str> {
+        self.rows
+            .iter()
+            .filter(|r| r.pareto)
+            .map(|r| r.id.as_str())
+            .collect()
+    }
+
+    /// Serializes the document as JSON lines: header, then rows.
+    pub fn to_jsonl(&self) -> String {
+        let mut rungs = String::from("[");
+        for (i, r) in self.rungs.iter().enumerate() {
+            if i > 0 {
+                rungs.push(',');
+            }
+            rungs.push_str(&number(*r));
+        }
+        rungs.push(']');
+        let mut out = JsonObject::new()
+            .str("schema", FRONTIER_SCHEMA)
+            .str("space", &self.space)
+            .str("strategy", &self.strategy)
+            .u64("seed", self.seed)
+            .raw("rungs", &rungs)
+            .u64("configs", self.configs as u64)
+            .u64("evaluated", self.evaluated as u64)
+            .u64("evals", self.evals as u64)
+            .u64("sim_tasks", self.sim_tasks)
+            .finish();
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(
+                &JsonObject::new()
+                    .str("id", &row.id)
+                    .str("workload", &row.workload)
+                    .u64("threads", row.threads as u64)
+                    .bool("baseline", row.baseline)
+                    .opt_u64("credits", row.credits.map(u64::from))
+                    .opt_u64("l2_kb", row.l2_kb.map(|v| v as u64))
+                    .opt_u64("local_queue", row.local_queue.map(|v| v as u64))
+                    .opt_u64("refill", row.refill.map(|v| v as u64))
+                    .u64("rung", row.rung as u64)
+                    .f64("scale", row.scale)
+                    .u64("makespan", row.makespan)
+                    .u64("tasks", row.tasks)
+                    .f64("speedup", row.speedup)
+                    .f64("area_mm2", row.area_mm2)
+                    .bool("pareto", row.pareto)
+                    .finish(),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the human-readable frontier table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "space {}  strategy {}  seed {}",
+            self.space, self.strategy, self.seed
+        );
+        let rungs: Vec<String> = self.rungs.iter().map(|r| format!("{r}")).collect();
+        let _ = writeln!(
+            out,
+            "rungs {}  configs {}  evaluated {}  evals {}  sim tasks {}",
+            rungs.join(" -> "),
+            self.configs,
+            self.evaluated,
+            self.evals,
+            self.sim_tasks
+        );
+        let _ = writeln!(out);
+        let id_width = self
+            .rows
+            .iter()
+            .map(|r| r.id.len())
+            .max()
+            .unwrap_or(2)
+            .max(2);
+        let _ = writeln!(out, "  {:<10} {:>9} {:>8}  {:<id_width$}", "area mm2", "speedup", "pareto", "id");
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>9} {:>8}  {:<id_width$}",
+                format!("{:.4}", row.area_mm2),
+                format!("{:.3}", row.speedup),
+                if row.pareto { "*" } else { "" },
+                row.id
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(id: &str, area: f64, speedup: f64) -> FrontierRow {
+        FrontierRow {
+            id: id.into(),
+            workload: "BFS".into(),
+            threads: 4,
+            baseline: area == 0.0,
+            credits: None,
+            l2_kb: None,
+            local_queue: None,
+            refill: None,
+            rung: 1,
+            scale: 0.08,
+            makespan: 1000,
+            tasks: 100,
+            speedup,
+            area_mm2: area,
+            pareto: false,
+        }
+    }
+
+    #[test]
+    fn pareto_marks_non_dominated_rows_per_group() {
+        let mut rows = vec![
+            row("baseline", 0.0, 1.0),
+            row("cheap-fast", 0.1, 2.0),
+            row("cheap-slow", 0.1, 1.5),   // dominated by cheap-fast
+            row("pricey-faster", 0.2, 2.5),
+            row("pricey-slower", 0.2, 1.8), // dominated twice over
+        ];
+        // A second group whose dominated-looking row must survive:
+        // dominance never crosses (workload, threads) groups.
+        let mut other = row("other-group", 0.2, 1.8);
+        other.workload = "CC".into();
+        rows.push(other);
+        mark_pareto(&mut rows);
+        let pareto: Vec<&str> = rows.iter().filter(|r| r.pareto).map(|r| r.id.as_str()).collect();
+        assert_eq!(
+            pareto,
+            ["baseline", "cheap-fast", "pricey-faster", "other-group"]
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_reader() {
+        let mut rows = vec![row("baseline", 0.0, 1.0), row("cand", 0.2, 2.0)];
+        mark_pareto(&mut rows);
+        let doc = FrontierDoc {
+            space: "smoke".into(),
+            strategy: "grid".into(),
+            seed: 42,
+            rungs: vec![0.02, 0.05],
+            configs: 4,
+            evaluated: 2,
+            evals: 2,
+            sim_tasks: 200,
+            rows,
+        };
+        let text = doc.to_jsonl();
+        let mut lines = text.lines();
+        let header = crate::json_read::Json::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(header.str_field("schema").unwrap(), FRONTIER_SCHEMA);
+        assert_eq!(header.u64_field("sim_tasks").unwrap(), 200);
+        let first = crate::json_read::Json::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(first.str_field("id").unwrap(), "baseline");
+        assert!(first.bool_field("pareto").unwrap());
+        assert_eq!(lines.count(), 1);
+        // The table renders a line per row plus the three header lines.
+        assert_eq!(doc.table().lines().count(), 3 + 1 + 2);
+    }
+}

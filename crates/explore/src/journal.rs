@@ -1,0 +1,442 @@
+//! Append-only evaluation journal: the explorer's checkpoint.
+//!
+//! Every simulated evaluation — one configuration at one rung — becomes
+//! one JSON line, appended and fsync'd per batch. A killed search
+//! resumes by replaying its strategy against the journal: evaluations
+//! already on disk are served from the cache instead of re-simulated,
+//! so the resumed process continues exactly where the dead one
+//! stopped, and (simulation being deterministic) the final frontier is
+//! byte-identical to an uninterrupted run.
+//!
+//! The first line is a header binding the journal to a `(space, seed,
+//! strategy, rungs)` tuple; resuming with different parameters is
+//! refused rather than silently mixing incompatible results. A
+//! truncated final line — the footprint of a process killed mid-write —
+//! is tolerated and ignored; corruption anywhere else is an error.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use minnow_bench::json::{number, JsonObject};
+
+use crate::json_read::Json;
+
+/// Schema identifier stamped into the journal's header line.
+pub const JOURNAL_SCHEMA: &str = "minnow-explore-journal/v1";
+
+/// The identity a journal is bound to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalHeader {
+    /// Space name.
+    pub space: String,
+    /// Sweep seed.
+    pub seed: u64,
+    /// Strategy label (`grid`, `random8`, `halving2`, ...).
+    pub strategy: String,
+    /// The space's scale rungs.
+    pub rungs: Vec<f64>,
+}
+
+impl JournalHeader {
+    fn to_json(&self) -> String {
+        let mut rungs = String::from("[");
+        for (i, r) in self.rungs.iter().enumerate() {
+            if i > 0 {
+                rungs.push(',');
+            }
+            let _ = write!(rungs, "{}", number(*r));
+        }
+        rungs.push(']');
+        JsonObject::new()
+            .str("schema", JOURNAL_SCHEMA)
+            .str("space", &self.space)
+            .u64("seed", self.seed)
+            .str("strategy", &self.strategy)
+            .raw("rungs", &rungs)
+            .finish()
+    }
+
+    fn from_json(doc: &Json) -> Result<JournalHeader, String> {
+        let schema = doc.str_field("schema")?;
+        if schema != JOURNAL_SCHEMA {
+            return Err(format!("journal schema `{schema}` != `{JOURNAL_SCHEMA}`"));
+        }
+        let rungs = doc
+            .get("rungs")
+            .and_then(Json::as_array)
+            .ok_or("missing `rungs` array")?
+            .iter()
+            .map(|v| v.as_f64().ok_or("non-number rung"))
+            .collect::<Result<Vec<f64>, _>>()?;
+        Ok(JournalHeader {
+            space: doc.str_field("space")?.to_string(),
+            seed: doc.u64_field("seed")?,
+            strategy: doc.str_field("strategy")?.to_string(),
+            rungs,
+        })
+    }
+
+    /// Whether two headers describe the same search identity. Rungs are
+    /// compared at the journal's six-decimal serialization precision.
+    fn compatible(&self, other: &JournalHeader) -> bool {
+        self.space == other.space
+            && self.seed == other.seed
+            && self.strategy == other.strategy
+            && self.rungs.len() == other.rungs.len()
+            && self
+                .rungs
+                .iter()
+                .zip(&other.rungs)
+                .all(|(a, b)| number(*a) == number(*b))
+    }
+}
+
+/// One journaled evaluation: a configuration simulated at a rung.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRecord {
+    /// Append sequence number (0-based; informational).
+    pub seq: u64,
+    /// Configuration id.
+    pub id: String,
+    /// Rung index into the space's scale ladder.
+    pub rung: usize,
+    /// The rung's scale factor.
+    pub scale: f64,
+    /// Derived input seed the point ran with.
+    pub seed: u64,
+    /// Simulated makespan in cycles.
+    pub makespan: u64,
+    /// Tasks executed — the search's cost currency.
+    pub tasks: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Memory accesses.
+    pub mem_accesses: u64,
+    /// Whether the simulation hit its task limit.
+    pub timed_out: bool,
+    /// Host wall time in microseconds (volatile: never feeds the
+    /// frontier, so resumed journals may differ here and nowhere else).
+    pub wall_us: u64,
+}
+
+impl EvalRecord {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .u64("seq", self.seq)
+            .str("id", &self.id)
+            .u64("rung", self.rung as u64)
+            .f64("scale", self.scale)
+            .u64("seed", self.seed)
+            .u64("makespan", self.makespan)
+            .u64("tasks", self.tasks)
+            .u64("instructions", self.instructions)
+            .u64("l2_misses", self.l2_misses)
+            .u64("mem_accesses", self.mem_accesses)
+            .bool("timed_out", self.timed_out)
+            .u64("wall_us", self.wall_us)
+            .finish()
+    }
+
+    fn from_json(doc: &Json) -> Result<EvalRecord, String> {
+        Ok(EvalRecord {
+            seq: doc.u64_field("seq")?,
+            id: doc.str_field("id")?.to_string(),
+            rung: doc.u64_field("rung")? as usize,
+            scale: doc.f64_field("scale")?,
+            seed: doc.u64_field("seed")?,
+            makespan: doc.u64_field("makespan")?,
+            tasks: doc.u64_field("tasks")?,
+            instructions: doc.u64_field("instructions")?,
+            l2_misses: doc.u64_field("l2_misses")?,
+            mem_accesses: doc.u64_field("mem_accesses")?,
+            timed_out: doc.bool_field("timed_out")?,
+            wall_us: doc.u64_field("wall_us")?,
+        })
+    }
+}
+
+/// The open journal: an eval cache backed by the append-only file.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    header: JournalHeader,
+    cache: BTreeMap<(String, usize), EvalRecord>,
+    next_seq: u64,
+    /// Evaluations served from disk on open (resume observability).
+    resumed: usize,
+}
+
+/// Explorer errors.
+#[derive(Debug)]
+pub enum ExploreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed or incompatible journal.
+    Journal(String),
+    /// Invalid space or configuration.
+    Config(String),
+}
+
+impl std::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreError::Io(e) => write!(f, "i/o: {e}"),
+            ExploreError::Journal(e) => write!(f, "journal: {e}"),
+            ExploreError::Config(e) => write!(f, "config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+impl From<std::io::Error> for ExploreError {
+    fn from(e: std::io::Error) -> Self {
+        ExploreError::Io(e)
+    }
+}
+
+impl Journal {
+    /// Opens (resuming) or creates the journal at `path` for the given
+    /// search identity.
+    ///
+    /// # Errors
+    ///
+    /// Fails on i/o errors, on a journal whose header does not match
+    /// `header`, or on corruption anywhere but a truncated final line.
+    pub fn open(path: &Path, header: JournalHeader) -> Result<Journal, ExploreError> {
+        let mut journal = Journal {
+            path: path.to_path_buf(),
+            header,
+            cache: BTreeMap::new(),
+            next_seq: 0,
+            resumed: 0,
+        };
+        match std::fs::read_to_string(path) {
+            Ok(text) => journal.load(&text)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                if let Some(parent) = path.parent() {
+                    if !parent.as_os_str().is_empty() {
+                        std::fs::create_dir_all(parent)?;
+                    }
+                }
+                let mut file = File::create(path)?;
+                file.write_all(journal.header.to_json().as_bytes())?;
+                file.write_all(b"\n")?;
+                file.sync_data()?;
+            }
+            Err(e) => return Err(e.into()),
+        }
+        Ok(journal)
+    }
+
+    fn load(&mut self, text: &str) -> Result<(), ExploreError> {
+        let mut lines = text.split_inclusive('\n');
+        let header_line = lines
+            .next()
+            .ok_or_else(|| ExploreError::Journal("empty journal file".into()))?;
+        if !header_line.ends_with('\n') {
+            // A journal that died while writing its own header: treat as
+            // absent content rather than refusing to resume.
+            return Err(ExploreError::Journal(
+                "journal header line is truncated; delete the file to start over".into(),
+            ));
+        }
+        let doc = Json::parse(header_line.trim_end())
+            .map_err(|e| ExploreError::Journal(format!("header: {e}")))?;
+        let found = JournalHeader::from_json(&doc).map_err(ExploreError::Journal)?;
+        if !found.compatible(&self.header) {
+            return Err(ExploreError::Journal(format!(
+                "journal belongs to a different search \
+                 (space {} seed {} strategy {} vs space {} seed {} strategy {}); \
+                 use a fresh journal path or delete it",
+                found.space,
+                found.seed,
+                found.strategy,
+                self.header.space,
+                self.header.seed,
+                self.header.strategy,
+            )));
+        }
+        for (idx, raw) in lines.enumerate() {
+            let complete = raw.ends_with('\n');
+            let line = raw.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let parsed = Json::parse(line).and_then(|doc| EvalRecord::from_json(&doc));
+            match parsed {
+                Ok(rec) => {
+                    self.next_seq = self.next_seq.max(rec.seq + 1);
+                    self.cache.insert((rec.id.clone(), rec.rung), rec);
+                }
+                Err(e) if !complete => {
+                    // The kill signature: a partial final line. The
+                    // evaluation it would have recorded simply re-runs.
+                    let _ = e;
+                    break;
+                }
+                Err(e) => {
+                    return Err(ExploreError::Journal(format!(
+                        "corrupt record on journal line {}: {e}",
+                        idx + 2
+                    )));
+                }
+            }
+        }
+        self.resumed = self.cache.len();
+        Ok(())
+    }
+
+    /// The journal's identity header.
+    pub fn header(&self) -> &JournalHeader {
+        &self.header
+    }
+
+    /// Evaluations recovered from disk when the journal was opened.
+    pub fn resumed(&self) -> usize {
+        self.resumed
+    }
+
+    /// A cached evaluation, if this (configuration, rung) has run.
+    pub fn get(&self, id: &str, rung: usize) -> Option<&EvalRecord> {
+        self.cache.get(&(id.to_string(), rung))
+    }
+
+    /// The next append sequence number.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Every cached evaluation, in `(id, rung)` key order.
+    pub fn records(&self) -> impl Iterator<Item = &EvalRecord> {
+        self.cache.values()
+    }
+
+    /// Appends a batch of fresh evaluations: one line each, then a
+    /// single flush + fsync, making the whole batch durable at once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; on error the batch may be partially
+    /// visible on disk but the in-memory cache is not updated.
+    pub fn append_batch(&mut self, records: Vec<EvalRecord>) -> Result<(), ExploreError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut payload = String::new();
+        for rec in &records {
+            payload.push_str(&rec.to_json());
+            payload.push('\n');
+        }
+        let mut file = OpenOptions::new().append(true).open(&self.path)?;
+        file.write_all(payload.as_bytes())?;
+        file.flush()?;
+        file.sync_data()?;
+        for rec in records {
+            self.next_seq = self.next_seq.max(rec.seq + 1);
+            self.cache.insert((rec.id.clone(), rec.rung), rec);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            space: "smoke".into(),
+            seed: 42,
+            strategy: "grid".into(),
+            rungs: vec![0.02, 0.05],
+        }
+    }
+
+    fn record(seq: u64, id: &str, rung: usize) -> EvalRecord {
+        EvalRecord {
+            seq,
+            id: id.into(),
+            rung,
+            scale: 0.02,
+            seed: 7,
+            makespan: 1000 + seq,
+            tasks: 10 * (seq + 1),
+            instructions: 50,
+            l2_misses: 3,
+            mem_accesses: 20,
+            timed_out: false,
+            wall_us: 12345,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("minnow-journal-{}-{name}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn create_append_reopen_round_trips() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::open(&path, header()).unwrap();
+        assert_eq!(j.resumed(), 0);
+        j.append_batch(vec![record(0, "a", 0), record(1, "b", 0)]).unwrap();
+        j.append_batch(vec![record(2, "a", 1)]).unwrap();
+
+        let j2 = Journal::open(&path, header()).unwrap();
+        assert_eq!(j2.resumed(), 3);
+        assert_eq!(j2.next_seq(), 3);
+        assert_eq!(j2.get("a", 0).unwrap().makespan, 1000);
+        assert_eq!(j2.get("a", 1).unwrap().makespan, 1002);
+        assert!(j2.get("b", 1).is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_final_line_is_tolerated_but_interior_corruption_is_not() {
+        let path = tmp("truncated");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::open(&path, header()).unwrap();
+        j.append_batch(vec![record(0, "a", 0)]).unwrap();
+        // Simulate a kill mid-write: a partial record with no newline.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"seq\":1,\"id\":\"b\",\"ru").unwrap();
+        drop(f);
+        let j2 = Journal::open(&path, header()).unwrap();
+        assert_eq!(j2.resumed(), 1, "partial line ignored");
+
+        // Interior corruption (a complete but malformed line) is fatal.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let fixed = text.replace("{\"seq\":1,\"id\":\"b\",\"ru", "garbage\n");
+        std::fs::write(&path, fixed).unwrap();
+        assert!(matches!(
+            Journal::open(&path, header()),
+            Err(ExploreError::Journal(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mismatched_identity_is_refused() {
+        let path = tmp("identity");
+        let _ = std::fs::remove_file(&path);
+        let _ = Journal::open(&path, header()).unwrap();
+        for other in [
+            JournalHeader { seed: 43, ..header() },
+            JournalHeader { space: "other".into(), ..header() },
+            JournalHeader { strategy: "halving2".into(), ..header() },
+            JournalHeader { rungs: vec![0.02], ..header() },
+        ] {
+            assert!(matches!(
+                Journal::open(&path, other),
+                Err(ExploreError::Journal(_))
+            ));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

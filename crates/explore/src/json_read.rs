@@ -1,0 +1,337 @@
+//! A minimal JSON reader for the explorer's own artifacts.
+//!
+//! The build environment has no serde; the journal and frontier
+//! documents are written by this workspace's fixed-order serializer
+//! (`minnow_bench::json`), but resume must survive *any* well-formed
+//! reordering plus truncated trailing lines from a killed process, so
+//! reading them back deserves a real (if small) recursive-descent
+//! parser rather than substring scans. Shared with the schema tests.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// Object; insertion order preserved, lookups by key.
+    Object(BTreeMap<String, Json>),
+    /// Array.
+    Array(Vec<Json>),
+    /// String.
+    String(String),
+    /// Number (all JSON numbers are f64 here; the journal's u64 fields
+    /// stay exact below 2^53, far above any simulated quantity).
+    Number(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Null.
+    Null,
+}
+
+impl Json {
+    /// Parses one JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a byte-offset error message on malformed input.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes after JSON value at {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup; `None` for non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Required typed field accessors for record parsing; errors name
+    /// the missing/mistyped key.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming `key` when absent or not a string.
+    pub fn str_field(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing or non-string field `{key}`"))
+    }
+
+    /// See [`Json::str_field`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming `key` when absent or not a u64.
+    pub fn u64_field(&self, key: &str) -> Result<u64, String> {
+        self.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+    }
+
+    /// See [`Json::str_field`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming `key` when absent or not a number.
+    pub fn f64_field(&self, key: &str) -> Result<f64, String> {
+        self.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing or non-number field `{key}`"))
+    }
+
+    /// See [`Json::str_field`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming `key` when absent or not a boolean.
+    pub fn bool_field(&self, key: &str) -> Result<bool, String> {
+        self.get(key)
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("missing or non-boolean field `{key}`"))
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Result<u8, String> {
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| format!("unexpected end of input at {}", self.pos))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? != b {
+            return Err(format!(
+                "expected {:?} at byte {}, got {:?}",
+                b as char, self.pos, self.bytes[self.pos] as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::String(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if !self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            return Err(format!("bad literal at byte {}", self.pos));
+        }
+        self.pos += lit.len();
+        Ok(value)
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = BTreeMap::new();
+        self.skip_ws();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            fields.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', got {:?}", other as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                other => return Err(format!("expected ',' or ']', got {:?}", other as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek()? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.peek()? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|e| format!("\\u: {e}"))?;
+                            out.push(char::from_u32(code).ok_or("non-scalar \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("unsupported escape \\{}", other as char)),
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    let start = self.pos;
+                    while !matches!(self.peek()?, b'"' | b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| format!("invalid utf8: {e}"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse()
+            .map(Json::Number)
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_explorers_own_output_shapes() {
+        let doc = Json::parse(
+            "{\"schema\":\"minnow-explore-journal/v1\",\"seq\":3,\"scale\":0.010000,\
+             \"timed_out\":false,\"rungs\":[0.01,0.08],\"note\":null}",
+        )
+        .unwrap();
+        assert_eq!(doc.str_field("schema").unwrap(), "minnow-explore-journal/v1");
+        assert_eq!(doc.u64_field("seq").unwrap(), 3);
+        assert_eq!(doc.f64_field("scale").unwrap(), 0.01);
+        assert!(!doc.bool_field("timed_out").unwrap());
+        assert_eq!(doc.get("rungs").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(doc.get("note"), Some(&Json::Null));
+        assert!(doc.u64_field("scale").is_err(), "fractional is not u64");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{", "{\"a\":}", "[1,", "\"unterminated", "{\"a\":1}x", "nul"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn strings_unescape() {
+        let doc = Json::parse("{\"s\":\"a\\n\\\"b\\\"\\u0041\"}").unwrap();
+        assert_eq!(doc.str_field("s").unwrap(), "a\n\"b\"A");
+    }
+}

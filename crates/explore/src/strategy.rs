@@ -1,0 +1,322 @@
+//! Search strategies: which configurations run at which rungs.
+//!
+//! A strategy is a pure, deterministic function of `(space, seed,
+//! completed evaluations)` — it owns no mutable state and consults no
+//! clock or thread order. The explorer asks it for *waves*: wave `w`
+//! is a set of `(configuration, rung)` evaluations that may only be
+//! planned once every evaluation of waves `0..w` is on record. Because
+//! the planning is recomputable, a resumed search replays the same
+//! waves and the journal acts as a pure evaluation cache.
+//!
+//! * [`Strategy::Grid`] — the oracle: everything at the final rung.
+//! * [`Strategy::Random`] — a seeded without-replacement sample of the
+//!   candidate grid at the final rung.
+//! * [`Strategy::Halving`] — successive halving up the rung ladder:
+//!   everything runs at the cheapest rung; within each *area class*
+//!   (configurations pricing identical silicon) only the top
+//!   `ceil(n/eta)` by speedup are promoted to the next, more expensive
+//!   rung. Pruning per area class rather than globally keeps every
+//!   frontier-relevant cost point represented, which is what lets a
+//!   halving search recover the grid's Pareto set at a fraction of the
+//!   simulated work.
+
+use crate::space::{ConfigPoint, Space};
+use minnow_bench::json::number;
+
+/// A search strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Evaluate every configuration at the final rung.
+    Grid,
+    /// Evaluate a seeded sample of `samples` candidates (plus their
+    /// baselines) at the final rung.
+    Random {
+        /// Number of candidates to sample (clamped to the grid size).
+        samples: usize,
+    },
+    /// Successive halving with reduction factor `eta` per rung.
+    Halving {
+        /// Fraction of each area class surviving a rung: `ceil(n/eta)`.
+        eta: usize,
+    },
+}
+
+/// One requested evaluation: an index into [`Space::configs`] plus a
+/// rung index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalKey {
+    /// Configuration index in enumeration order.
+    pub config: usize,
+    /// Rung index into the space's scale ladder.
+    pub rung: usize,
+}
+
+impl Strategy {
+    /// Builds a strategy from CLI-shaped inputs.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown kinds, `samples == 0`, and `eta < 2`.
+    pub fn from_flags(kind: &str, samples: usize, eta: usize) -> Result<Strategy, String> {
+        match kind {
+            "grid" => Ok(Strategy::Grid),
+            "random" => {
+                if samples == 0 {
+                    return Err("--samples must be at least 1".into());
+                }
+                Ok(Strategy::Random { samples })
+            }
+            "halving" => {
+                if eta < 2 {
+                    return Err("--eta must be at least 2".into());
+                }
+                Ok(Strategy::Halving { eta })
+            }
+            other => Err(format!(
+                "unknown strategy `{other}` (expected grid, random, or halving)"
+            )),
+        }
+    }
+
+    /// The label journals and artifacts carry, e.g. `halving2`.
+    pub fn label(&self) -> String {
+        match self {
+            Strategy::Grid => "grid".into(),
+            Strategy::Random { samples } => format!("random{samples}"),
+            Strategy::Halving { eta } => format!("halving{eta}"),
+        }
+    }
+
+    /// Plans wave `wave` of the search, or `None` when the search is
+    /// complete. `makespan` must answer for every evaluation of every
+    /// earlier wave (the explorer guarantees this by running waves to
+    /// completion in order); this call panics if that contract is
+    /// broken.
+    pub fn wave(
+        &self,
+        wave: usize,
+        space: &Space,
+        configs: &[ConfigPoint],
+        seed: u64,
+        makespan: &dyn Fn(&str, usize) -> Option<u64>,
+    ) -> Option<Vec<EvalKey>> {
+        let last_rung = space.rungs.len() - 1;
+        match *self {
+            Strategy::Grid => (wave == 0).then(|| {
+                (0..configs.len())
+                    .map(|config| EvalKey { config, rung: last_rung })
+                    .collect()
+            }),
+            Strategy::Random { samples } => (wave == 0).then(|| {
+                let candidates: Vec<usize> = (0..configs.len())
+                    .filter(|&i| !configs[i].is_baseline())
+                    .collect();
+                let chosen = sample_without_replacement(&candidates, samples, seed);
+                with_baselines(configs, chosen, last_rung)
+            }),
+            Strategy::Halving { eta } => {
+                if wave > last_rung {
+                    return None;
+                }
+                let mut survivors: Vec<usize> = (0..configs.len())
+                    .filter(|&i| !configs[i].is_baseline())
+                    .collect();
+                for rung in 0..wave {
+                    survivors = prune_per_area_class(eta, configs, &survivors, rung, makespan);
+                }
+                Some(with_baselines(configs, survivors, wave))
+            }
+        }
+    }
+}
+
+/// Appends every baseline the chosen candidates normalize against and
+/// returns the wave in enumeration order (baselines enumerate first, so
+/// a plain sort suffices). Enumeration order is what makes the budget's
+/// "prefix of pending evaluations" deterministic.
+fn with_baselines(configs: &[ConfigPoint], chosen: Vec<usize>, rung: usize) -> Vec<EvalKey> {
+    let mut indices = chosen;
+    for i in 0..configs.len() {
+        if !configs[i].is_baseline() {
+            continue;
+        }
+        let needed = indices
+            .iter()
+            .any(|&c| configs[c].baseline_id() == configs[i].id);
+        if needed {
+            indices.push(i);
+        }
+    }
+    indices.sort_unstable();
+    indices.dedup();
+    indices
+        .into_iter()
+        .map(|config| EvalKey { config, rung })
+        .collect()
+}
+
+/// Seeded Fisher–Yates prefix: the first `samples` elements of a
+/// deterministic shuffle of `pool`.
+fn sample_without_replacement(pool: &[usize], samples: usize, seed: u64) -> Vec<usize> {
+    let mut items = pool.to_vec();
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let take = samples.min(items.len());
+    for i in 0..take {
+        let r = splitmix64(&mut state) as usize;
+        let j = i + r % (items.len() - i);
+        items.swap(i, j);
+    }
+    items.truncate(take);
+    items
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Keeps the top `ceil(n/eta)` of each area class by speedup at `rung`.
+/// The class key is the area at the frontier's own six-decimal
+/// precision, so "same cost" here means "same cost in the artifact".
+/// Ties in speedup break toward the earlier enumeration index, keeping
+/// the cut deterministic.
+fn prune_per_area_class(
+    eta: usize,
+    configs: &[ConfigPoint],
+    survivors: &[usize],
+    rung: usize,
+    makespan: &dyn Fn(&str, usize) -> Option<u64>,
+) -> Vec<usize> {
+    let speedup_of = |idx: usize| -> f64 {
+        let c = &configs[idx];
+        let base = makespan(&c.baseline_id(), rung)
+            .unwrap_or_else(|| panic!("baseline {} missing at rung {rung}", c.baseline_id()));
+        let own = makespan(&c.id, rung)
+            .unwrap_or_else(|| panic!("candidate {} missing at rung {rung}", c.id));
+        base as f64 / own.max(1) as f64
+    };
+    // Classes keyed by serialized area, in first-appearance order so the
+    // output order never depends on float formatting quirks.
+    let mut classes: Vec<(String, Vec<usize>)> = Vec::new();
+    for &idx in survivors {
+        let key = number(configs[idx].area_mm2());
+        match classes.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(idx),
+            None => classes.push((key, vec![idx])),
+        }
+    }
+    let mut kept = Vec::new();
+    for (_, mut members) in classes {
+        let keep = members.len().div_ceil(eta);
+        members.sort_by(|&a, &b| {
+            speedup_of(b)
+                .partial_cmp(&speedup_of(a))
+                .expect("speedups are finite")
+                .then(a.cmp(&b))
+        });
+        members.truncate(keep);
+        kept.extend(members);
+    }
+    kept.sort_unstable();
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn no_results(_: &str, _: usize) -> Option<u64> {
+        None
+    }
+
+    #[test]
+    fn labels_and_flag_parsing() {
+        assert_eq!(Strategy::from_flags("grid", 8, 2).unwrap().label(), "grid");
+        assert_eq!(
+            Strategy::from_flags("random", 8, 2).unwrap().label(),
+            "random8"
+        );
+        assert_eq!(
+            Strategy::from_flags("halving", 8, 3).unwrap().label(),
+            "halving3"
+        );
+        assert!(Strategy::from_flags("random", 0, 2).is_err());
+        assert!(Strategy::from_flags("halving", 8, 1).is_err());
+        assert!(Strategy::from_flags("anneal", 8, 2).is_err());
+    }
+
+    #[test]
+    fn grid_is_one_wave_of_everything_at_the_final_rung() {
+        let space = Space::smoke();
+        let configs = space.configs();
+        let wave = Strategy::Grid
+            .wave(0, &space, &configs, 42, &no_results)
+            .unwrap();
+        assert_eq!(wave.len(), configs.len());
+        assert!(wave.iter().all(|e| e.rung == space.rungs.len() - 1));
+        assert!(Strategy::Grid.wave(1, &space, &configs, 42, &no_results).is_none());
+    }
+
+    #[test]
+    fn random_samples_are_seed_deterministic_and_carry_baselines() {
+        let space = Space::golden_fig16();
+        let configs = space.configs();
+        let s = Strategy::Random { samples: 3 };
+        let a = s.wave(0, &space, &configs, 42, &no_results).unwrap();
+        let b = s.wave(0, &space, &configs, 42, &no_results).unwrap();
+        assert_eq!(a, b, "same seed, same sample");
+        let c = s.wave(0, &space, &configs, 43, &no_results).unwrap();
+        assert_ne!(a, c, "different seed should move the sample");
+        // 3 candidates + the single BFS/t4 baseline, in enumeration order.
+        assert_eq!(a.len(), 4);
+        assert!(configs[a[0].config].is_baseline());
+        assert!(a.windows(2).all(|w| w[0].config < w[1].config));
+        // Oversampling clamps to the whole grid.
+        let all = Strategy::Random { samples: 999 }
+            .wave(0, &space, &configs, 42, &no_results)
+            .unwrap();
+        assert_eq!(all.len(), configs.len());
+    }
+
+    #[test]
+    fn halving_prunes_within_area_classes_and_keeps_winners() {
+        let space = Space::golden_fig16();
+        let configs = space.configs();
+        let s = Strategy::Halving { eta: 2 };
+        // Wave 0: everything at rung 0.
+        let w0 = s.wave(0, &space, &configs, 42, &no_results).unwrap();
+        assert_eq!(w0.len(), configs.len());
+        assert!(w0.iter().all(|e| e.rung == 0));
+
+        // Fabricate rung-0 results: makespan improves with credits, so
+        // the per-class winner is the highest-credit config of each L2
+        // size. Baselines get a fixed slow makespan.
+        let mut fake: HashMap<(String, usize), u64> = HashMap::new();
+        for (i, c) in configs.iter().enumerate() {
+            let m = if c.is_baseline() { 10_000 } else { 5_000 - 10 * i as u64 };
+            fake.insert((c.id.clone(), 0), m);
+        }
+        let lookup = |id: &str, rung: usize| fake.get(&(id.to_string(), rung)).copied();
+        let w1 = s.wave(1, &space, &configs, 42, &lookup).unwrap();
+        // 8 candidates in 2 area classes (l2-8k, l2-16k) of 4 each ->
+        // 2 survivors per class, plus the baseline.
+        assert_eq!(w1.len(), 5);
+        assert!(w1.iter().all(|e| e.rung == 1));
+        let survivors: Vec<&str> = w1
+            .iter()
+            .filter(|e| !configs[e.config].is_baseline())
+            .map(|e| configs[e.config].id.as_str())
+            .collect();
+        assert_eq!(survivors.iter().filter(|s| s.contains("/l2-8k/")).count(), 2);
+        assert_eq!(survivors.iter().filter(|s| s.contains("/l2-16k/")).count(), 2);
+        // Highest index = lowest makespan = per-class winner survives.
+        assert!(survivors.contains(&"BFS/t4/c128/l2-8k/lq64/r16"));
+        assert!(survivors.contains(&"BFS/t4/c128/l2-16k/lq64/r16"));
+        // The ladder ends after the last rung.
+        assert!(s.wave(2, &space, &configs, 42, &lookup).is_none());
+    }
+}

@@ -15,6 +15,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use minnow::algos::WorkloadKind;
+use minnow::bench::cli::ArgStream;
 use minnow::engine::offload::{MinnowConfig, MinnowScheduler};
 use minnow::graph::{io, Csr};
 use minnow::runtime::sim_exec::{run, ExecConfig, RunReport};
@@ -53,7 +54,7 @@ options:
 ";
 
 fn parse_args() -> Result<Args, String> {
-    let mut argv = std::env::args().skip(1);
+    let mut argv = ArgStream::from_env();
     let workload = match argv.next().as_deref() {
         Some("sssp") => WorkloadKind::Sssp,
         Some("bfs") => WorkloadKind::Bfs,
@@ -78,24 +79,20 @@ fn parse_args() -> Result<Args, String> {
         csv: false,
     };
     while let Some(flag) = argv.next() {
-        let mut value = |name: &str| {
-            argv.next()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
         match flag.as_str() {
-            "--threads" => args.threads = value("--threads")?.parse().map_err(|e| format!("{e}"))?,
-            "--scale" => args.scale = value("--scale")?.parse().map_err(|e| format!("{e}"))?,
-            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
-            "--sched" => args.sched = value("--sched")?,
-            "--policy" => args.policy = Some(value("--policy")?),
-            "--credits" => args.credits = value("--credits")?.parse().map_err(|e| format!("{e}"))?,
-            "--graph" => args.graph_file = Some(value("--graph")?),
-            "--reorder" => args.reorder = Some(value("--reorder")?),
+            "--threads" => args.threads = argv.parse_at_least("--threads", 1)? as usize,
+            "--scale" => args.scale = argv.parse("--scale")?,
+            "--seed" => args.seed = argv.parse("--seed")?,
+            "--sched" => args.sched = argv.value("--sched")?,
+            "--policy" => args.policy = Some(argv.value("--policy")?),
+            "--credits" => args.credits = argv.parse("--credits")?,
+            "--graph" => args.graph_file = Some(argv.value("--graph")?),
+            "--reorder" => args.reorder = Some(argv.value("--reorder")?),
             "--csv" => args.csv = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if args.threads == 0 || args.threads > 64 {
+    if args.threads > 64 {
         return Err("--threads must be in 1..=64".into());
     }
     Ok(args)

@@ -10,6 +10,7 @@
 //! minnow-sweep fig16 --threads 8
 //! minnow-sweep fig15 --filter /SSSP/ --out results/
 //! minnow-sweep smoke --scale 0.05 --stdout
+//! minnow-sweep credits --dry-run      # enumerate, don't simulate
 //! ```
 //!
 //! Output is deterministic: for a fixed sweep, filter, scale, and seed,
@@ -19,12 +20,14 @@
 
 use std::process::ExitCode;
 
+use minnow_bench::cli::{write_with_parents, ArgStream};
 use minnow_bench::sweep::{run_sweep, Sweep, SweepConfig, SweepParams};
 
 #[derive(Debug)]
 struct Args {
     sweep: Option<String>,
     list: bool,
+    dry_run: bool,
     threads: Option<usize>,
     point_threads: Option<usize>,
     filter: Option<String>,
@@ -35,6 +38,7 @@ struct Args {
     trace_out: Option<String>,
     bench_out: Option<String>,
     bench_baseline: Option<String>,
+    bench_baseline_line: usize,
 }
 
 const USAGE: &str = "\
@@ -57,6 +61,8 @@ options:
   --seed N        sweep seed; point seeds are derived from it
                   (default: MINNOW_BENCH_SEED or 42)
   --stdout        print the JSON-lines records instead of writing files
+  --dry-run       print the selected points (id, workload, scheduler,
+                  threads, scale, seed) without simulating anything
   --trace-out F   capture structured traces and write a Chrome
                   trace_event JSON (Perfetto-loadable) to F; simulation
                   results and the JSONL artifact are unchanged
@@ -67,6 +73,10 @@ options:
                   regression gate: read a prior --bench-out document
                   from F and exit non-zero if this run's total wall_ms
                   exceeds the baseline's by more than 25%
+  --bench-baseline-line N
+                  which line of the baseline file to gate against when
+                  it holds several benchmark documents (1-based,
+                  default 1)
   --list          list sweep names and point counts, then exit
 ";
 
@@ -74,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         sweep: None,
         list: false,
+        dry_run: false,
         threads: None,
         point_threads: None,
         filter: None,
@@ -84,44 +95,33 @@ fn parse_args() -> Result<Args, String> {
         trace_out: None,
         bench_out: None,
         bench_baseline: None,
+        bench_baseline_line: 1,
     };
-    let mut argv = std::env::args().skip(1);
+    let mut argv = ArgStream::from_env();
     while let Some(flag) = argv.next() {
-        let mut value = |name: &str| {
-            argv.next()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
         match flag.as_str() {
             "--list" => args.list = true,
-            "--threads" => {
-                args.threads = Some(value("--threads")?.parse().map_err(|e| format!("{e}"))?)
-            }
+            "--dry-run" => args.dry_run = true,
+            "--threads" => args.threads = Some(argv.parse_at_least("--threads", 1)? as usize),
             "--point-threads" => {
-                args.point_threads = Some(
-                    value("--point-threads")?
-                        .parse()
-                        .map_err(|e| format!("{e}"))?,
-                )
+                args.point_threads = Some(argv.parse_at_least("--point-threads", 1)? as usize)
             }
-            "--filter" => args.filter = Some(value("--filter")?),
-            "--out" => args.out = value("--out")?,
-            "--scale" => args.scale = Some(value("--scale")?.parse().map_err(|e| format!("{e}"))?),
-            "--seed" => args.seed = Some(value("--seed")?.parse().map_err(|e| format!("{e}"))?),
+            "--filter" => args.filter = Some(argv.value("--filter")?),
+            "--out" => args.out = argv.value("--out")?,
+            "--scale" => args.scale = Some(argv.parse("--scale")?),
+            "--seed" => args.seed = Some(argv.parse("--seed")?),
             "--stdout" => args.stdout = true,
-            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
-            "--bench-out" => args.bench_out = Some(value("--bench-out")?),
-            "--bench-baseline" => args.bench_baseline = Some(value("--bench-baseline")?),
+            "--trace-out" => args.trace_out = Some(argv.value("--trace-out")?),
+            "--bench-out" => args.bench_out = Some(argv.value("--bench-out")?),
+            "--bench-baseline" => args.bench_baseline = Some(argv.value("--bench-baseline")?),
+            "--bench-baseline-line" => {
+                args.bench_baseline_line = argv.parse_at_least("--bench-baseline-line", 1)? as usize
+            }
             other if !other.starts_with('-') && args.sweep.is_none() => {
                 args.sweep = Some(other.to_string())
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
-    }
-    if let Some(0) = args.threads {
-        return Err("--threads must be at least 1".into());
-    }
-    if let Some(0) = args.point_threads {
-        return Err("--point-threads must be at least 1".into());
     }
     if !args.list && args.sweep.is_none() {
         return Err("missing sweep name".into());
@@ -171,8 +171,8 @@ fn main() -> ExitCode {
     cfg.filter = args.filter.clone();
     cfg.trace = args.trace_out.is_some();
 
-    let selected = sweep.selected(&cfg).len();
-    if selected == 0 {
+    let selected = sweep.selected(&cfg);
+    if selected.is_empty() {
         eprintln!(
             "error: filter `{}` matches none of {}'s {} points",
             args.filter.as_deref().unwrap_or(""),
@@ -181,11 +181,43 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+
+    if args.dry_run {
+        let id_width = selected
+            .iter()
+            .map(|p| p.id.len())
+            .max()
+            .unwrap_or(2)
+            .max("id".len());
+        println!(
+            "{:<id_width$} {:<8} {:<10} {:>7} {:>7} {:>20}",
+            "id", "workload", "sched", "threads", "scale", "seed"
+        );
+        for point in &selected {
+            println!(
+                "{:<id_width$} {:<8} {:<10} {:>7} {:>7} {:>20}",
+                point.id,
+                point.run.kind.name(),
+                point.run.sched.label(),
+                point.run.threads,
+                point.run.scale,
+                point.run.seed
+            );
+        }
+        eprintln!(
+            "dry run: {}/{} points selected, nothing simulated",
+            selected.len(),
+            sweep.points.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
     eprintln!(
-        "sweep {}: {selected}/{} points, pool of {} thread(s), scale {}, seed {}",
+        "sweep {}: {}/{} points, pool of {} thread(s), scale {}, seed {}",
         sweep.name,
+        selected.len(),
         sweep.points.len(),
-        cfg.threads.max(1).min(selected),
+        cfg.threads.max(1).min(selected.len()),
         params.scale,
         params.seed
     );
@@ -197,15 +229,7 @@ fn main() -> ExitCode {
         let doc = result
             .chrome_trace_json()
             .expect("tracing was enabled, every point captured a trace");
-        let write = |p: &str, doc: &str| -> std::io::Result<()> {
-            if let Some(parent) = std::path::Path::new(p).parent() {
-                if !parent.as_os_str().is_empty() {
-                    std::fs::create_dir_all(parent)?;
-                }
-            }
-            std::fs::write(p, doc)
-        };
-        if let Err(e) = write(path, &doc) {
+        if let Err(e) = write_with_parents(path, &doc) {
             eprintln!("error: writing trace to {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -214,15 +238,7 @@ fn main() -> ExitCode {
 
     if let Some(path) = &args.bench_out {
         let doc = result.bench_json() + "\n";
-        let write = |p: &str, doc: &str| -> std::io::Result<()> {
-            if let Some(parent) = std::path::Path::new(p).parent() {
-                if !parent.as_os_str().is_empty() {
-                    std::fs::create_dir_all(parent)?;
-                }
-            }
-            std::fs::write(p, doc)
-        };
-        if let Err(e) = write(path, &doc) {
+        if let Err(e) = write_with_parents(path, &doc) {
             eprintln!("error: writing benchmark document to {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -262,8 +278,19 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let Some(baseline_ms) = baseline_wall_ms(&doc) else {
-            eprintln!("error: no \"wall_ms\" field in benchmark baseline {path}");
+        let Some(line) = doc.lines().filter(|l| !l.trim().is_empty()).nth(args.bench_baseline_line - 1)
+        else {
+            eprintln!(
+                "error: benchmark baseline {path} has no line {}",
+                args.bench_baseline_line
+            );
+            return ExitCode::FAILURE;
+        };
+        let Some(baseline_ms) = baseline_wall_ms(line) else {
+            eprintln!(
+                "error: no \"wall_ms\" field on line {} of benchmark baseline {path}",
+                args.bench_baseline_line
+            );
             return ExitCode::FAILURE;
         };
         let now_ms = result.wall.as_millis() as u64;
@@ -281,7 +308,7 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Extracts the total `"wall_ms"` value from a `--bench-out` document.
+/// Extracts the total `"wall_ms"` value from one `--bench-out` document.
 ///
 /// The document is this binary's own fixed-order serialization
 /// (`minnow-bench-wallclock/v1`), whose first `"wall_ms"` key is the

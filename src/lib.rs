@@ -11,13 +11,16 @@
 //! * [`prefetch`] — baseline hardware prefetchers (stride, IMP),
 //! * [`algos`] — the seven paper workloads (SSSP, BFS, G500, CC, PR, TC, BC),
 //! * [`bench`] — the experiment harness (figure benches, the parallel
-//!   sweep engine behind `minnow-sweep`).
+//!   sweep engine behind `minnow-sweep`),
+//! * [`explore`] — checkpointed design-space exploration with early
+//!   stopping and Pareto frontier extraction (`minnow-explore`).
 
 #![deny(missing_docs)]
 
 pub use minnow_algos as algos;
 pub use minnow_bench as bench;
 pub use minnow_core as engine;
+pub use minnow_explore as explore;
 pub use minnow_graph as graph;
 pub use minnow_prefetch as prefetch;
 pub use minnow_runtime as runtime;
