@@ -1,8 +1,11 @@
 //! The benchmark suite: workloads bound to their Table 2 inputs.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use minnow_graph::image::{load_image, write_image, LoadMode};
+use minnow_graph::io::{self, ParseError};
 use minnow_graph::{inputs, Csr, NodeId};
 use minnow_runtime::Operator;
 
@@ -26,6 +29,61 @@ type InputCell = Arc<OnceLock<Arc<Csr>>>;
 fn input_cache() -> &'static Mutex<HashMap<InputKey, InputCell>> {
     static CACHE: OnceLock<Mutex<HashMap<InputKey, InputCell>>> = OnceLock::new();
     CACHE.get_or_init(Default::default)
+}
+
+/// Environment variable naming a directory where generated inputs are
+/// persisted as `minnow-csr-image/v1` files. When set, [`WorkloadKind::input`]
+/// loads cache hits from disk instead of regenerating, which turns repeated
+/// sweep invocations at the same scale/seed from minutes of generation into
+/// an mmap.
+pub const IMAGE_CACHE_ENV: &str = "MINNOW_IMAGE_CACHE";
+
+/// Key identifying one external graph file: path, format, load mode,
+/// sortedness.
+type FileKey = (PathBuf, &'static str, &'static str, bool);
+
+/// Process-wide cache of file-ingested inputs, sharing one `Arc<Csr>` per
+/// (path, mode, sortedness) across every sweep worker, exactly like
+/// [`input_cache`] does for generated graphs.
+fn file_cache() -> &'static Mutex<HashMap<FileKey, Arc<Csr>>> {
+    static CACHE: OnceLock<Mutex<HashMap<FileKey, Arc<Csr>>>> = OnceLock::new();
+    CACHE.get_or_init(Default::default)
+}
+
+/// Loads a graph from an external file (any [`io::GraphSource`] format;
+/// `source: None` detects it from the extension) through the process-wide
+/// cache.
+///
+/// With `require_sorted` the returned graph is guaranteed to have sorted
+/// adjacency — TC's `operator_on` panics otherwise. Sorting a mapped image
+/// copies it to owned storage first; pre-sorted images (the common case:
+/// everything `minnow-ingest` writes is canonically sorted) stay zero-copy.
+///
+/// Errors are not cached: a fixed file can be retried with the same path.
+pub fn file_input(
+    path: &Path,
+    source: Option<io::GraphSource>,
+    mode: LoadMode,
+    require_sorted: bool,
+) -> Result<Arc<Csr>, ParseError> {
+    let key = (
+        path.to_path_buf(),
+        source.map_or("detect", |s| s.label()),
+        mode.label(),
+        require_sorted,
+    );
+    if let Some(g) = file_cache().lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
+        return Ok(g.clone());
+    }
+    // Load outside the lock: a rare concurrent miss duplicates the read but
+    // never serializes unrelated loads behind it.
+    let mut g = io::read_file(path, source, mode)?;
+    if require_sorted && !g.is_sorted() {
+        g.sort_adjacency();
+    }
+    let arc = Arc::new(g);
+    let mut map = file_cache().lock().unwrap_or_else(|e| e.into_inner());
+    Ok(map.entry(key).or_insert(arc).clone())
 }
 
 /// The seven paper workloads (Table 2).
@@ -108,7 +166,52 @@ impl WorkloadKind {
             let mut map = input_cache().lock().unwrap_or_else(|e| e.into_inner());
             map.entry(key).or_default().clone()
         };
-        cell.get_or_init(|| self.generate_input(scale, seed)).clone()
+        cell.get_or_init(|| {
+            if let Some(dir) = std::env::var_os(IMAGE_CACHE_ENV).filter(|v| !v.is_empty()) {
+                match self.input_via_image_cache(scale, seed, Path::new(&dir)) {
+                    Ok(g) => return g,
+                    Err(e) => eprintln!(
+                        "minnow: image cache unusable for {self} scale {scale} ({e}); regenerating"
+                    ),
+                }
+            }
+            self.generate_input(scale, seed)
+        })
+        .clone()
+    }
+
+    /// [`Self::input`]'s disk-backed slow path, parameterized on the cache
+    /// directory so it is testable without touching the environment: loads
+    /// the input's `minnow-csr-image/v1` file when present, otherwise
+    /// generates the graph and persists it (write-to-temp + rename, so a
+    /// concurrent process never observes a half-written image).
+    pub fn input_via_image_cache(
+        self,
+        scale: f64,
+        seed: u64,
+        dir: &Path,
+    ) -> Result<Arc<Csr>, String> {
+        let file = dir.join(format!(
+            "{}-s{:016x}-r{seed}.mcsr",
+            self.name().to_ascii_lowercase(),
+            scale.to_bits()
+        ));
+        if file.exists() {
+            return load_image(&file, LoadMode::Auto)
+                .map(Arc::new)
+                .map_err(|e| format!("{}: {e}", file.display()));
+        }
+        let g = self.generate_input(scale, seed);
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        let tmp = dir.join(format!(
+            ".{}-s{:016x}-r{seed}.{}.tmp",
+            self.name().to_ascii_lowercase(),
+            scale.to_bits(),
+            std::process::id()
+        ));
+        write_image(&g, &tmp).map_err(|e| format!("{}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &file).map_err(|e| format!("{}: {e}", file.display()))?;
+        Ok(g)
     }
 
     /// Generates a fresh, uncached input analogue at the given scale.
@@ -221,6 +324,48 @@ mod tests {
                 assert!(Arc::ptr_eq(&graphs[0], g), "threads must share one copy");
             }
         });
+    }
+
+    #[test]
+    fn image_cache_round_trips_generated_inputs() {
+        let dir = std::env::temp_dir().join(format!("minnow-imgcache-{}", std::process::id()));
+        let kind = WorkloadKind::Bfs;
+        let fresh = kind.generate_input(0.02, 31);
+        let miss = kind.input_via_image_cache(0.02, 31, &dir).unwrap();
+        assert_eq!(*fresh, *miss, "cache miss must generate the same graph");
+        let hit = kind.input_via_image_cache(0.02, 31, &dir).unwrap();
+        assert!(!Arc::ptr_eq(&miss, &hit), "hit comes from disk, not memory");
+        assert_eq!(*miss, *hit, "disk round-trip must be lossless");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_input_caches_sorts_and_surfaces_errors() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("minnow-fileinput-{}.el", std::process::id()));
+        // Adjacency of node 0 is deliberately out of order.
+        std::fs::write(&path, "0 2\n0 1\n1 2\n2 0\n2 1\n1 0\n").unwrap();
+
+        let a = file_input(&path, None, LoadMode::Auto, false).unwrap();
+        let b = file_input(&path, None, LoadMode::Auto, false).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one graph");
+        assert!(!a.is_sorted());
+
+        let sorted = file_input(&path, None, LoadMode::Auto, true).unwrap();
+        assert!(sorted.is_sorted(), "require_sorted must deliver sorted adjacency");
+        assert!(!Arc::ptr_eq(&a, &sorted), "sortedness is part of the key");
+        // Sorted adjacency is exactly what TC demands.
+        let mut op = WorkloadKind::Tc.operator_on(sorted);
+        let report = run_software(
+            op.as_mut(),
+            minnow_runtime::PolicyKind::Chunked(16),
+            &ExecConfig::new(1),
+        );
+        assert!(report.tasks > 0);
+
+        std::fs::remove_file(&path).unwrap();
+        let missing = dir.join("minnow-no-such-file.el");
+        assert!(file_input(&missing, None, LoadMode::Auto, false).is_err());
     }
 
     #[test]

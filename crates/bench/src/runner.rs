@@ -61,6 +61,29 @@ pub enum HwKind {
     Imp,
 }
 
+/// An external graph file standing in for the workload's generated input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputSpec {
+    /// Path to the graph: any [`minnow_graph::io::GraphSource`] format,
+    /// including `minnow-csr-image/v1` files.
+    pub path: std::path::PathBuf,
+    /// Explicit source format; `None` detects from the extension.
+    pub format: Option<minnow_graph::io::GraphSource>,
+    /// How to load an image file (ignored for text/binary edge formats).
+    pub mode: minnow_graph::image::LoadMode,
+}
+
+impl InputSpec {
+    /// A spec with the default (auto mmap-or-read) load mode.
+    pub fn new(path: impl Into<std::path::PathBuf>) -> Self {
+        InputSpec {
+            path: path.into(),
+            format: None,
+            mode: minnow_graph::image::LoadMode::Auto,
+        }
+    }
+}
+
 /// One experiment configuration.
 #[derive(Debug, Clone)]
 pub struct BenchRun {
@@ -68,6 +91,10 @@ pub struct BenchRun {
     pub kind: WorkloadKind,
     /// Input scale.
     pub scale: f64,
+    /// External input file; `None` (the default) generates the workload's
+    /// Table 1 analogue at [`BenchRun::scale`]. When set, `scale`/`seed`
+    /// no longer affect the graph (they still seed the simulator).
+    pub input: Option<InputSpec>,
     /// Generator seed.
     pub seed: u64,
     /// Worker threads (= cores).
@@ -110,6 +137,7 @@ impl BenchRun {
         BenchRun {
             kind,
             scale: crate::scale(),
+            input: None,
             seed: crate::seed(),
             threads,
             sched,
@@ -175,9 +203,29 @@ impl BenchRun {
         cfg
     }
 
-    /// Generates the input graph for this run.
+    /// The input graph for this run: the external file when
+    /// [`BenchRun::input`] is set (loaded through the process-wide file
+    /// cache, sorted when the workload demands it), otherwise the
+    /// generated analogue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an external input fails to load — binaries should
+    /// pre-validate with [`BenchRun::try_input`].
     pub fn input(&self) -> Arc<Csr> {
-        self.kind.input(self.scale, self.seed)
+        self.try_input().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`BenchRun::input`], surfacing file errors instead of panicking.
+    pub fn try_input(&self) -> Result<Arc<Csr>, String> {
+        match &self.input {
+            Some(spec) => {
+                let require_sorted = self.kind == WorkloadKind::Tc;
+                minnow_algos::suite::file_input(&spec.path, spec.format, spec.mode, require_sorted)
+                    .map_err(|e| format!("input {}: {e}", spec.path.display()))
+            }
+            None => Ok(self.kind.input(self.scale, self.seed)),
+        }
     }
 
     /// The §5.4 area cost of this configuration's Minnow hardware:

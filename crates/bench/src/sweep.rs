@@ -40,7 +40,7 @@ use minnow_sim::stats::CycleBin;
 use minnow_sim::trace::{TraceEvent, Tracer};
 
 use crate::json::{escape, JsonObject};
-use crate::runner::{BenchRun, HwKind, SchedSpec};
+use crate::runner::{BenchRun, HwKind, InputSpec, SchedSpec};
 
 /// Derives a point-input seed from the sweep seed and a stable key
 /// (FNV-1a over the key, finalized with a SplitMix64 mix).
@@ -319,6 +319,12 @@ pub struct SweepConfig {
     /// byte-identical for every value; only host wall-clock changes.
     /// Traced points always run serially regardless of this setting.
     pub point_threads: usize,
+    /// Run every point on this external graph instead of its generated
+    /// input (see [`BenchRun::input`]). Like `point_threads`, this is an
+    /// execution-level override: it is not serialized into the per-point
+    /// JSONL records, so sweeps over the *same graph* delivered through
+    /// different paths (text file, image, mmap) stay byte-identical.
+    pub input: Option<InputSpec>,
 }
 
 impl SweepConfig {
@@ -329,6 +335,7 @@ impl SweepConfig {
             filter: None,
             trace: false,
             point_threads: 1,
+            input: None,
         }
     }
 
@@ -340,6 +347,7 @@ impl SweepConfig {
             filter: None,
             trace: false,
             point_threads: 1,
+            input: None,
         }
     }
 
@@ -367,6 +375,12 @@ impl SweepConfig {
         self
     }
 
+    /// Same configuration with every point running on an external graph.
+    pub fn with_input(mut self, input: InputSpec) -> Self {
+        self.input = Some(input);
+        self
+    }
+
     /// Whether a point id passes the filter.
     pub fn matches(&self, id: &str) -> bool {
         self.filter.as_deref().is_none_or(|f| id.contains(f))
@@ -390,11 +404,56 @@ pub struct PointResult {
     pub wall: Duration,
 }
 
+/// Host-side statistics for ingesting/loading one external input, carried
+/// into [`SweepResult::bench_json`] (volatile by nature, like everything
+/// else in the bench document).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Input path as given on the command line.
+    pub path: String,
+    /// Load mode label (`auto`/`mmap`/`read`) or the source format label.
+    pub mode: String,
+    /// Node count of the loaded graph.
+    pub nodes: u64,
+    /// Edge count of the loaded graph.
+    pub edges: u64,
+    /// Input file size in bytes.
+    pub bytes: u64,
+    /// Host wall-clock microseconds spent loading.
+    pub wall_us: u64,
+}
+
+impl IngestStats {
+    /// Serializes the stats as a JSON object, including the derived
+    /// edges-per-second ingestion throughput.
+    pub fn json(&self) -> String {
+        let secs = self.wall_us as f64 / 1e6;
+        let rate = if secs > 0.0 {
+            self.edges as f64 / secs
+        } else {
+            0.0
+        };
+        JsonObject::new()
+            .str("path", &self.path)
+            .str("mode", &self.mode)
+            .u64("nodes", self.nodes)
+            .u64("edges", self.edges)
+            .u64("bytes", self.bytes)
+            .u64("wall_us", self.wall_us)
+            .f64("edges_per_sec", rate)
+            .finish()
+    }
+}
+
 /// All results of one sweep execution, in enumeration order.
 #[derive(Debug)]
 pub struct SweepResult {
     /// Sweep name.
     pub sweep: String,
+    /// External-input load statistics, when the sweep ran on a file
+    /// (set by the driver after pre-loading; `None` for generated
+    /// inputs). Appears only in [`SweepResult::bench_json`].
+    pub ingest: Option<IngestStats>,
     /// Per-point results, ordered as the sweep enumerated them.
     pub points: Vec<PointResult>,
     /// Pool threads actually used (volatile; not part of any record).
@@ -469,6 +528,9 @@ pub fn run_sweep_observed(sweep: &Sweep, cfg: &SweepConfig, hooks: &SweepHooks) 
                     let point = selected[slot];
                     let mut run = point.run.clone();
                     run.point_threads = cfg.point_threads.max(1);
+                    if cfg.input.is_some() {
+                        run.input = cfg.input.clone();
+                    }
                     let p0 = Instant::now();
                     let (report, trace) = if cfg.trace {
                         // Each point gets a private buffer, so pool
@@ -506,6 +568,7 @@ pub fn run_sweep_observed(sweep: &Sweep, cfg: &SweepConfig, hooks: &SweepHooks) 
     let points = filled.into_iter().flatten().collect();
     SweepResult {
         sweep: sweep.name.clone(),
+        ingest: None,
         points,
         pool_threads: pool,
         point_threads: cfg.point_threads.max(1),
@@ -673,9 +736,13 @@ impl SweepResult {
         }));
         let tasks: u64 = self.points.iter().map(|p| p.report.tasks).sum();
         let accesses: u64 = self.points.iter().map(|p| p.report.mem_accesses).sum();
-        JsonObject::new()
+        let mut obj = JsonObject::new()
             .str("schema", BENCH_SCHEMA)
-            .str("sweep", &self.sweep)
+            .str("sweep", &self.sweep);
+        if let Some(ingest) = &self.ingest {
+            obj = obj.raw("ingest", &ingest.json());
+        }
+        obj
             .u64("pool_threads", self.pool_threads as u64)
             .u64("point_threads", self.point_threads as u64)
             .u64("wall_ms", self.wall.as_millis() as u64)

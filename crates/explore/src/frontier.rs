@@ -20,10 +20,10 @@
 
 use std::fmt::Write as _;
 
-use minnow_bench::json::{number, JsonObject};
+use minnow_bench::json::JsonObject;
 
 use crate::journal::{ExploreError, Journal};
-use crate::space::Space;
+use crate::space::{Rung, Space};
 use crate::strategy::Strategy;
 
 /// Schema identifier stamped into the frontier header line.
@@ -74,8 +74,8 @@ pub struct FrontierDoc {
     pub strategy: String,
     /// Sweep seed.
     pub seed: u64,
-    /// The space's scale rungs.
-    pub rungs: Vec<f64>,
+    /// The space's rungs (scale factors and/or external inputs).
+    pub rungs: Vec<Rung>,
     /// Configurations in the declared space.
     pub configs: usize,
     /// Configurations measured at the final rung (= rows).
@@ -197,7 +197,7 @@ impl FrontierDoc {
             if i > 0 {
                 rungs.push(',');
             }
-            rungs.push_str(&number(*r));
+            rungs.push_str(&r.json_value());
         }
         rungs.push(']');
         let mut out = JsonObject::new()
@@ -332,7 +332,7 @@ mod tests {
             space: "smoke".into(),
             strategy: "grid".into(),
             seed: 42,
-            rungs: vec![0.02, 0.05],
+            rungs: vec![Rung::Scale(0.02), Rung::Scale(0.05)],
             configs: 4,
             evaluated: 2,
             evals: 2,

@@ -20,9 +20,10 @@ use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use minnow_bench::json::{number, JsonObject};
+use minnow_bench::json::JsonObject;
 
 use crate::json_read::Json;
+use crate::space::Rung;
 
 /// Schema identifier stamped into the journal's header line.
 pub const JOURNAL_SCHEMA: &str = "minnow-explore-journal/v1";
@@ -36,8 +37,9 @@ pub struct JournalHeader {
     pub seed: u64,
     /// Strategy label (`grid`, `random8`, `halving2`, ...).
     pub strategy: String,
-    /// The space's scale rungs.
-    pub rungs: Vec<f64>,
+    /// The space's rungs: scale factors serialize as numbers, external
+    /// inputs as path strings.
+    pub rungs: Vec<Rung>,
 }
 
 impl JournalHeader {
@@ -47,7 +49,7 @@ impl JournalHeader {
             if i > 0 {
                 rungs.push(',');
             }
-            let _ = write!(rungs, "{}", number(*r));
+            let _ = write!(rungs, "{}", r.json_value());
         }
         rungs.push(']');
         JsonObject::new()
@@ -69,8 +71,16 @@ impl JournalHeader {
             .and_then(Json::as_array)
             .ok_or("missing `rungs` array")?
             .iter()
-            .map(|v| v.as_f64().ok_or("non-number rung"))
-            .collect::<Result<Vec<f64>, _>>()?;
+            .map(|v| {
+                if let Some(s) = v.as_f64() {
+                    Ok(Rung::Scale(s))
+                } else if let Some(p) = v.as_str() {
+                    Ok(Rung::Input(p.to_string()))
+                } else {
+                    Err("rung is neither a scale number nor an input path")
+                }
+            })
+            .collect::<Result<Vec<Rung>, _>>()?;
         Ok(JournalHeader {
             space: doc.str_field("space")?.to_string(),
             seed: doc.u64_field("seed")?,
@@ -80,7 +90,8 @@ impl JournalHeader {
     }
 
     /// Whether two headers describe the same search identity. Rungs are
-    /// compared at the journal's six-decimal serialization precision.
+    /// compared at the journal's serialization precision (six decimals
+    /// for scales, exact paths for inputs).
     fn compatible(&self, other: &JournalHeader) -> bool {
         self.space == other.space
             && self.seed == other.seed
@@ -90,7 +101,7 @@ impl JournalHeader {
                 .rungs
                 .iter()
                 .zip(&other.rungs)
-                .all(|(a, b)| number(*a) == number(*b))
+                .all(|(a, b)| a.json_value() == b.json_value())
     }
 }
 
@@ -101,9 +112,10 @@ pub struct EvalRecord {
     pub seq: u64,
     /// Configuration id.
     pub id: String,
-    /// Rung index into the space's scale ladder.
+    /// Rung index into the space's ladder.
     pub rung: usize,
-    /// The rung's scale factor.
+    /// The rung's scale factor (`0.0` for input rungs; the header's
+    /// `rungs` array names the file).
     pub scale: f64,
     /// Derived input seed the point ran with.
     pub seed: u64,
@@ -354,7 +366,7 @@ mod tests {
             space: "smoke".into(),
             seed: 42,
             strategy: "grid".into(),
-            rungs: vec![0.02, 0.05],
+            rungs: vec![Rung::Scale(0.02), Rung::Scale(0.05)],
         }
     }
 
@@ -422,6 +434,26 @@ mod tests {
     }
 
     #[test]
+    fn input_rung_headers_round_trip() {
+        let path = tmp("input-rungs");
+        let _ = std::fs::remove_file(&path);
+        let with_input = JournalHeader {
+            rungs: vec![Rung::Scale(0.02), Rung::Input("graphs/road.mcsr".into())],
+            ..header()
+        };
+        let mut j = Journal::open(&path, with_input.clone()).unwrap();
+        j.append_batch(vec![record(0, "a", 1)]).unwrap();
+        let j2 = Journal::open(&path, with_input.clone()).unwrap();
+        assert_eq!(j2.header(), &with_input);
+        assert_eq!(j2.resumed(), 1);
+        assert!(matches!(
+            Journal::open(&path, header()),
+            Err(ExploreError::Journal(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn mismatched_identity_is_refused() {
         let path = tmp("identity");
         let _ = std::fs::remove_file(&path);
@@ -430,7 +462,11 @@ mod tests {
             JournalHeader { seed: 43, ..header() },
             JournalHeader { space: "other".into(), ..header() },
             JournalHeader { strategy: "halving2".into(), ..header() },
-            JournalHeader { rungs: vec![0.02], ..header() },
+            JournalHeader { rungs: vec![Rung::Scale(0.02)], ..header() },
+            JournalHeader {
+                rungs: vec![Rung::Scale(0.02), Rung::Input("g.mcsr".into())],
+                ..header()
+            },
         ] {
             assert!(matches!(
                 Journal::open(&path, other),

@@ -45,7 +45,7 @@ use minnow_bench::sweep::{
 
 pub use frontier::{build_frontier, FrontierDoc, FrontierRow, FRONTIER_SCHEMA};
 pub use journal::{EvalRecord, ExploreError, Journal, JournalHeader, JOURNAL_SCHEMA};
-pub use space::{ConfigPoint, Space};
+pub use space::{ConfigPoint, Rung, Space};
 pub use strategy::{EvalKey, Strategy};
 
 /// One exploration invocation's configuration.
@@ -202,7 +202,7 @@ fn simulate(cfg: &ExploreConfig, configs: &[ConfigPoint], chunk: &[EvalKey]) -> 
             let point = &configs[e.config];
             SweepPoint {
                 id: format!("{}@r{}", point.id, e.rung),
-                run: point.bench_run(cfg.space.rungs[e.rung], cfg.seed),
+                run: point.bench_run(&cfg.space.rungs[e.rung], cfg.seed),
             }
         })
         .collect();
@@ -235,7 +235,7 @@ fn simulate(cfg: &ExploreConfig, configs: &[ConfigPoint], chunk: &[EvalKey]) -> 
             seq: 0, // assigned at append time
             id: configs[e.config].id.clone(),
             rung: e.rung,
-            scale: cfg.space.rungs[e.rung],
+            scale: cfg.space.rungs[e.rung].scale_value(),
             seed: p.run.seed,
             makespan: p.report.makespan,
             tasks: p.report.tasks,
@@ -313,6 +313,50 @@ mod tests {
         assert_eq!(resumed, frontier.evals);
         assert_eq!(again.to_jsonl(), frontier.to_jsonl());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn input_rung_spaces_explore_external_graphs() {
+        let dir = std::env::temp_dir().join(format!("minnow-explore-input-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph = dir.join("ring.el");
+        // A 64-node ring, both directions, so BFS has work on every node.
+        let mut text = String::new();
+        for u in 0..64u32 {
+            let v = (u + 1) % 64;
+            text.push_str(&format!("{u} {v}\n{v} {u}\n"));
+        }
+        std::fs::write(&graph, text).unwrap();
+        let mut space = Space::smoke();
+        space.name = "input-smoke".into();
+        space.rungs = vec![Rung::Input(graph.to_string_lossy().into_owned())];
+        let path = tmp_journal("input-rung");
+        let _ = std::fs::remove_file(&path);
+        let cfg = ExploreConfig {
+            space,
+            strategy: Strategy::Grid,
+            seed: 42,
+            pool_threads: 2,
+            point_threads: 1,
+            max_fresh_evals: None,
+            journal_path: path.clone(),
+            verbose: false,
+        };
+        let ExploreOutcome::Complete { frontier, fresh, .. } = explore(&cfg).unwrap() else {
+            panic!("input-rung grid must complete");
+        };
+        assert_eq!(fresh, frontier.evaluated);
+        assert!(frontier.rows.iter().all(|r| r.scale == 0.0));
+        assert!(frontier.rows.iter().all(|r| r.makespan > 0));
+        // Resume is free and byte-identical, same as generated inputs.
+        let ExploreOutcome::Complete { frontier: again, fresh, .. } = explore(&cfg).unwrap()
+        else {
+            panic!("resume must complete");
+        };
+        assert_eq!(fresh, 0);
+        assert_eq!(again.to_jsonl(), frontier.to_jsonl());
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -10,10 +10,72 @@
 //! strategies, and the frontier artifact share.
 
 use minnow_algos::WorkloadKind;
-use minnow_bench::runner::{BenchRun, SchedSpec};
+use minnow_bench::json::{escape, number};
+use minnow_bench::runner::{BenchRun, InputSpec, SchedSpec};
 use minnow_bench::sweep::derive_seed;
 use minnow_core::area::{self, AreaEstimate, Process};
 use minnow_sim::config::EngineParams;
+
+/// One rung of the promotion ladder: either a generated-input scale
+/// factor or an external graph file (`@path` in space files) every
+/// configuration is measured on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rung {
+    /// Generated Table 1 analogues at this scale factor.
+    Scale(f64),
+    /// An external input file — any `minnow_graph::io::GraphSource`
+    /// format, including on-disk CSR images.
+    Input(String),
+}
+
+impl Rung {
+    /// The scale recorded in journals and artifacts: the factor for
+    /// scale rungs, `0.0` for input rungs (the graph defines its own
+    /// size; the record's `id`/`rung` identify it).
+    pub fn scale_value(&self) -> f64 {
+        match self {
+            Rung::Scale(s) => *s,
+            Rung::Input(_) => 0.0,
+        }
+    }
+
+    /// JSON value for header/artifact serialization: scale rungs keep
+    /// their frozen six-decimal number form; input rungs are strings.
+    pub fn json_value(&self) -> String {
+        match self {
+            Rung::Scale(s) => number(*s),
+            Rung::Input(p) => format!("\"{}\"", escape(p)),
+        }
+    }
+
+    /// Parses a space-file token: `@path` is an input rung, anything
+    /// else must be a scale factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed token.
+    pub fn parse_token(tok: &str) -> Result<Rung, String> {
+        if let Some(path) = tok.strip_prefix('@') {
+            if path.is_empty() {
+                return Err("input rung `@` needs a path".into());
+            }
+            Ok(Rung::Input(path.to_string()))
+        } else {
+            tok.parse()
+                .map(Rung::Scale)
+                .map_err(|e| format!("rung `{tok}`: {e}"))
+        }
+    }
+}
+
+impl std::fmt::Display for Rung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rung::Scale(s) => write!(f, "{s}"),
+            Rung::Input(p) => write!(f, "@{p}"),
+        }
+    }
+}
 
 /// A declared design space.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,9 +97,10 @@ pub struct Space {
     /// Engine refill/spill threshold axis (entries; must stay below
     /// every `local_queue` value).
     pub refill: Vec<usize>,
-    /// Ascending input-scale rungs; the last rung is the full-fidelity
-    /// scale every final candidate is measured at.
-    pub rungs: Vec<f64>,
+    /// Ascending input rungs; the last rung is the full-fidelity
+    /// input every final candidate is measured at. Scale rungs must
+    /// ascend; `@path` input rungs may appear anywhere in the ladder.
+    pub rungs: Vec<Rung>,
 }
 
 /// Candidate-specific axis values.
@@ -89,11 +152,11 @@ impl ConfigPoint {
         format!("{}/t{}/baseline", self.workload.name(), self.threads)
     }
 
-    /// Builds the simulator configuration for this point at `scale`.
+    /// Builds the simulator configuration for this point at `rung`.
     /// The input seed derives from `(sweep_seed, workload)` exactly as
     /// the sweep runner's does, so every configuration of one workload
-    /// runs the same graph.
-    pub fn bench_run(&self, scale: f64, sweep_seed: u64) -> BenchRun {
+    /// runs the same graph; input rungs load the same cached file.
+    pub fn bench_run(&self, rung: &Rung, sweep_seed: u64) -> BenchRun {
         let mut run = match self.role {
             Role::Baseline => BenchRun::software_default(self.workload, self.threads),
             Role::Candidate(p) => {
@@ -112,7 +175,13 @@ impl ConfigPoint {
                 run
             }
         };
-        run.scale = scale;
+        match rung {
+            Rung::Scale(s) => run.scale = *s,
+            Rung::Input(path) => {
+                run.scale = 0.0;
+                run.input = Some(InputSpec::new(path));
+            }
+        }
         run.seed = derive_seed(sweep_seed, self.workload.name());
         run
     }
@@ -165,7 +234,7 @@ impl Space {
             l2_ways: 8,
             local_queue: vec![64],
             refill: vec![16],
-            rungs: vec![0.02, 0.05],
+            rungs: vec![Rung::Scale(0.02), Rung::Scale(0.05)],
         }
     }
 
@@ -182,7 +251,7 @@ impl Space {
             l2_ways: 8,
             local_queue: vec![64],
             refill: vec![16],
-            rungs: vec![0.01, 0.08],
+            rungs: vec![Rung::Scale(0.01), Rung::Scale(0.08)],
         }
     }
 
@@ -198,7 +267,7 @@ impl Space {
             l2_ways: 8,
             local_queue: vec![16, 64],
             refill: vec![8],
-            rungs: vec![0.02, 0.06, 0.15],
+            rungs: vec![Rung::Scale(0.02), Rung::Scale(0.06), Rung::Scale(0.15)],
         }
     }
 
@@ -226,8 +295,21 @@ impl Space {
                 return Err(format!("axis `{axis}` is empty"));
             }
         }
-        if !self.rungs.windows(2).all(|w| w[0] < w[1]) || self.rungs[0] <= 0.0 {
+        let scales: Vec<f64> = self
+            .rungs
+            .iter()
+            .filter_map(|r| match r {
+                Rung::Scale(s) => Some(*s),
+                Rung::Input(_) => None,
+            })
+            .collect();
+        if !scales.windows(2).all(|w| w[0] < w[1])
+            || scales.first().is_some_and(|&s| s <= 0.0)
+        {
             return Err("rungs must be positive and strictly ascending".into());
+        }
+        if self.rungs.iter().any(|r| matches!(r, Rung::Input(p) if p.is_empty())) {
+            return Err("input rungs need a non-empty path".into());
         }
         for &kb in &self.l2_kb {
             if kb == 0 || !(kb * 1024).is_multiple_of(self.l2_ways * 64) {
@@ -304,7 +386,8 @@ impl Space {
     /// Parses a space file: `key = value[,value...]` lines, `#`
     /// comments. Keys: `name`, `workloads` (sssp|bfs|g500|cc|pr|tc|bc),
     /// `threads`, `credits` (`none` or an integer), `l2_kb`, `l2_ways`,
-    /// `local_queue`, `refill`, `rungs`. Missing keys fall back to the
+    /// `local_queue`, `refill`, `rungs` (scale factors and/or `@path`
+    /// external inputs). Missing keys fall back to the
     /// smoke space's single-value axes; `name`, `workloads`, and
     /// `rungs` are required.
     ///
@@ -366,7 +449,7 @@ impl Space {
                 "rungs" => {
                     space.rungs = values
                         .iter()
-                        .map(|v| v.parse().map_err(|e| at(format!("rungs: `{v}`: {e}"))))
+                        .map(|v| Rung::parse_token(v).map_err(|e| at(format!("rungs: {e}"))))
                         .collect::<Result<_, _>>()?;
                     saw_rungs = true;
                 }
@@ -420,16 +503,59 @@ mod tests {
     fn bench_runs_share_graphs_and_carry_overrides() {
         let space = Space::golden_fig16();
         let configs = space.configs();
-        let seeds: HashSet<u64> = configs.iter().map(|c| c.bench_run(0.05, 7).seed).collect();
+        let rung = Rung::Scale(0.05);
+        let seeds: HashSet<u64> = configs.iter().map(|c| c.bench_run(&rung, 7).seed).collect();
         assert_eq!(seeds.len(), 1, "one workload = one shared graph seed");
         let candidate = configs.iter().find(|c| !c.is_baseline()).unwrap();
-        let run = candidate.bench_run(0.05, 7);
+        let run = candidate.bench_run(&rung, 7);
         assert!(run.l2.is_some() && run.engine.is_some());
         assert_eq!(run.scale, 0.05);
+        assert_eq!(run.input, None);
         let baseline = configs.iter().find(|c| c.is_baseline()).unwrap();
-        let brun = baseline.bench_run(0.05, 7);
+        let brun = baseline.bench_run(&rung, 7);
         assert!(brun.l2.is_none() && brun.engine.is_none());
         assert_eq!(brun.seed, run.seed);
+        let irun = candidate.bench_run(&Rung::Input("g.mcsr".into()), 7);
+        assert_eq!(irun.scale, 0.0);
+        assert_eq!(irun.input, Some(InputSpec::new("g.mcsr")));
+        assert_eq!(irun.seed, run.seed);
+    }
+
+    #[test]
+    fn rung_tokens_parse_render_and_serialize() {
+        assert_eq!(Rung::parse_token("0.05"), Ok(Rung::Scale(0.05)));
+        assert_eq!(
+            Rung::parse_token("@graphs/road.mcsr"),
+            Ok(Rung::Input("graphs/road.mcsr".into()))
+        );
+        assert!(Rung::parse_token("@").is_err());
+        assert!(Rung::parse_token("fast").is_err());
+        assert_eq!(Rung::Scale(0.05).to_string(), "0.05");
+        assert_eq!(Rung::Input("a/b.el".into()).to_string(), "@a/b.el");
+        assert_eq!(Rung::Scale(0.05).json_value(), "0.050000");
+        assert_eq!(Rung::Input("a\"b".into()).json_value(), "\"a\\\"b\"");
+        assert_eq!(Rung::Scale(0.05).scale_value(), 0.05);
+        assert_eq!(Rung::Input("x".into()).scale_value(), 0.0);
+    }
+
+    #[test]
+    fn input_rungs_validate_and_parse_in_space_files() {
+        let mut space = Space::smoke();
+        space.rungs = vec![Rung::Scale(0.02), Rung::Input("big.mcsr".into())];
+        space.validate().unwrap();
+        space.rungs = vec![Rung::Input(String::new())];
+        assert!(space.validate().is_err());
+        let text = "\
+name = real
+workloads = bfs
+rungs = 0.02, @graphs/road.mcsr
+";
+        let parsed = Space::parse(text).unwrap();
+        assert_eq!(
+            parsed.rungs,
+            vec![Rung::Scale(0.02), Rung::Input("graphs/road.mcsr".into())]
+        );
+        assert!(Space::parse("name = x\nworkloads = bfs\nrungs = @").is_err());
     }
 
     #[test]

@@ -3,11 +3,83 @@
 //! The paper stores inputs "in memory in standard CSR format, with 32B nodes
 //! (64B for TC) and 16B edges" (§6.2). This module provides the logical CSR;
 //! [`crate::layout`] maps it onto simulated addresses.
+//!
+//! A `Csr` owns its three sections (`row_ptr`, `col`, `weights`) either as
+//! plain vectors or as byte ranges of a memory-mapped
+//! [`minnow-csr-image/v1`](crate::image) file — the zero-copy load path. The
+//! two representations are indistinguishable through the public API and
+//! compare equal when their logical contents match.
 
 use std::ops::Range;
+use std::sync::Arc;
+
+use crate::mmap::Mapping;
 
 /// Node identifier. All generated graphs fit comfortably in 32 bits.
 pub type NodeId = u32;
+
+/// Where a [`Csr`]'s sections live.
+#[derive(Debug, Clone)]
+enum Store {
+    /// Sections held in owned vectors (every mutable path).
+    Owned {
+        row_ptr: Vec<u64>,
+        col: Vec<NodeId>,
+        weights: Vec<u32>,
+    },
+    /// Sections borrowed from a shared file mapping (zero-copy image load).
+    Mapped(MappedSections),
+}
+
+/// Byte ranges of the three CSR sections inside one shared [`Mapping`].
+///
+/// Offsets are validated (alignment + bounds) by [`Csr::from_mapped`], so the
+/// slice reinterpretations below are sound. Only meaningful on little-endian
+/// hosts; the image loader refuses the mapped path elsewhere.
+#[derive(Debug, Clone)]
+pub(crate) struct MappedSections {
+    map: Arc<Mapping>,
+    /// (byte offset, element count) of the `u64` row-pointer section.
+    row_ptr: (usize, usize),
+    /// (byte offset, element count) of the `u32` column section.
+    col: (usize, usize),
+    /// (byte offset, element count) of the `u32` weight section (count 0
+    /// for unweighted graphs).
+    weights: (usize, usize),
+}
+
+impl MappedSections {
+    fn row_ptr(&self) -> &[u64] {
+        // SAFETY: offset/length bounds and 8-byte alignment were checked in
+        // `Csr::from_mapped`; the mapping is immutable and outlives `self`.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.map.as_ptr().add(self.row_ptr.0) as *const u64,
+                self.row_ptr.1,
+            )
+        }
+    }
+
+    fn col(&self) -> &[NodeId] {
+        // SAFETY: as above, with 4-byte alignment.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.map.as_ptr().add(self.col.0) as *const NodeId,
+                self.col.1,
+            )
+        }
+    }
+
+    fn weights(&self) -> &[u32] {
+        // SAFETY: as above, with 4-byte alignment.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.map.as_ptr().add(self.weights.0) as *const u32,
+                self.weights.1,
+            )
+        }
+    }
+}
 
 /// A directed graph in CSR form with optional `u32` edge weights.
 ///
@@ -16,13 +88,22 @@ pub type NodeId = u32;
 ///   starts at 0, and ends at `edges()`,
 /// * every column entry is `< nodes()`,
 /// * `weights` is either empty or exactly `edges()` long.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Csr {
-    row_ptr: Vec<u64>,
-    col: Vec<NodeId>,
-    weights: Vec<u32>,
+    store: Store,
     sorted: bool,
 }
+
+impl PartialEq for Csr {
+    fn eq(&self, other: &Self) -> bool {
+        self.sorted == other.sorted
+            && self.row_ptr() == other.row_ptr()
+            && self.col() == other.col()
+            && self.weights() == other.weights()
+    }
+}
+
+impl Eq for Csr {}
 
 impl Csr {
     /// Builds a CSR from an edge list. Edges keep their relative order
@@ -65,26 +146,155 @@ impl Csr {
             cursor[u as usize] += 1;
         }
         Csr {
-            row_ptr,
-            col,
-            weights: out_w,
+            store: Store::Owned {
+                row_ptr,
+                col,
+                weights: out_w,
+            },
             sorted: false,
+        }
+    }
+
+    /// Assembles a CSR directly from its three sections, validating every
+    /// invariant (including, when `sorted` is claimed, that each adjacency
+    /// list really is ascending — [`Csr::has_edge`] relies on it).
+    ///
+    /// This is the constructor behind the streaming ingest pipeline
+    /// ([`crate::ingest`]) and the buffered image load path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn from_parts(
+        row_ptr: Vec<u64>,
+        col: Vec<NodeId>,
+        weights: Vec<u32>,
+        sorted: bool,
+    ) -> Result<Csr, String> {
+        let g = Csr {
+            store: Store::Owned {
+                row_ptr,
+                col,
+                weights,
+            },
+            sorted,
+        };
+        g.validate()?;
+        if sorted {
+            g.check_sorted()?;
+        }
+        Ok(g)
+    }
+
+    /// Assembles a CSR over byte ranges of a shared file mapping — the
+    /// zero-copy image load path. Validates alignment and bounds of the
+    /// ranges plus every logical invariant.
+    ///
+    /// `row_ptr`/`col`/`weights` are `(byte_offset, element_count)` pairs
+    /// into `map`.
+    pub(crate) fn from_mapped(
+        map: Arc<Mapping>,
+        row_ptr: (usize, usize),
+        col: (usize, usize),
+        weights: (usize, usize),
+        sorted: bool,
+    ) -> Result<Csr, String> {
+        let check = |name: &str, (off, count): (usize, usize), width: usize| {
+            let bytes = count
+                .checked_mul(width)
+                .ok_or_else(|| format!("{name} section size overflows"))?;
+            let end = off
+                .checked_add(bytes)
+                .ok_or_else(|| format!("{name} section end overflows"))?;
+            if end > map.len() {
+                return Err(format!("{name} section extends past the mapping"));
+            }
+            if !(map.as_ptr() as usize + off).is_multiple_of(width) {
+                return Err(format!("{name} section is misaligned"));
+            }
+            Ok(())
+        };
+        check("row_ptr", row_ptr, 8)?;
+        check("col", col, 4)?;
+        check("weights", weights, 4)?;
+        if row_ptr.1 == 0 {
+            return Err("row_ptr must have at least one entry".into());
+        }
+        let g = Csr {
+            store: Store::Mapped(MappedSections {
+                map,
+                row_ptr,
+                col,
+                weights,
+            }),
+            sorted,
+        };
+        g.validate()?;
+        if sorted {
+            g.check_sorted()?;
+        }
+        Ok(g)
+    }
+
+    fn row_ptr(&self) -> &[u64] {
+        match &self.store {
+            Store::Owned { row_ptr, .. } => row_ptr,
+            Store::Mapped(m) => m.row_ptr(),
+        }
+    }
+
+    fn col(&self) -> &[NodeId] {
+        match &self.store {
+            Store::Owned { col, .. } => col,
+            Store::Mapped(m) => m.col(),
+        }
+    }
+
+    fn weights(&self) -> &[u32] {
+        match &self.store {
+            Store::Owned { weights, .. } => weights,
+            Store::Mapped(m) => m.weights(),
+        }
+    }
+
+    /// The three raw sections `(row_ptr, col, weights)`; `weights` is empty
+    /// for unweighted graphs. This is the serialization surface used by the
+    /// on-disk image writer and the conformance tests.
+    pub fn raw_parts(&self) -> (&[u64], &[NodeId], &[u32]) {
+        (self.row_ptr(), self.col(), self.weights())
+    }
+
+    /// Whether the sections are borrowed from a file mapping rather than
+    /// owned vectors.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.store, Store::Mapped(_))
+    }
+
+    /// Converts mapped sections into owned vectors (no-op when already
+    /// owned). Mutating operations call this first.
+    fn make_owned(&mut self) {
+        if let Store::Mapped(m) = &self.store {
+            self.store = Store::Owned {
+                row_ptr: m.row_ptr().to_vec(),
+                col: m.col().to_vec(),
+                weights: m.weights().to_vec(),
+            };
         }
     }
 
     /// Number of nodes.
     pub fn nodes(&self) -> usize {
-        self.row_ptr.len() - 1
+        self.row_ptr().len() - 1
     }
 
     /// Number of directed edges.
     pub fn edges(&self) -> usize {
-        self.col.len()
+        self.col().len()
     }
 
     /// Whether edge weights are present.
     pub fn is_weighted(&self) -> bool {
-        !self.weights.is_empty()
+        !self.weights().is_empty()
     }
 
     /// Whether every adjacency list is sorted (enables [`Csr::has_edge`]).
@@ -106,51 +316,63 @@ impl Csr {
     pub fn edge_range(&self, v: NodeId) -> Range<usize> {
         let v = v as usize;
         assert!(v < self.nodes(), "node {v} out of range");
-        self.row_ptr[v] as usize..self.row_ptr[v + 1] as usize
+        let row_ptr = self.row_ptr();
+        row_ptr[v] as usize..row_ptr[v + 1] as usize
     }
 
     /// Neighbors of `v` as a slice.
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.col[self.edge_range(v)]
+        &self.col()[self.edge_range(v)]
     }
 
     /// Destination of edge index `e`.
     pub fn edge_dst(&self, e: usize) -> NodeId {
-        self.col[e]
+        self.col()[e]
     }
 
     /// Weight of edge index `e` (1 for unweighted graphs).
     pub fn edge_weight(&self, e: usize) -> u32 {
-        if self.weights.is_empty() {
+        let weights = self.weights();
+        if weights.is_empty() {
             1
         } else {
-            self.weights[e]
+            weights[e]
         }
     }
 
     /// Iterates `(edge_index, dst, weight)` for node `v`.
     pub fn edges_of(&self, v: NodeId) -> impl Iterator<Item = (usize, NodeId, u32)> + '_ {
         self.edge_range(v)
-            .map(move |e| (e, self.col[e], self.edge_weight(e)))
+            .map(move |e| (e, self.edge_dst(e), self.edge_weight(e)))
     }
 
     /// Sorts every adjacency list (with its weights) ascending by target,
-    /// enabling binary-search membership tests.
+    /// enabling binary-search membership tests. Mapped graphs are copied
+    /// into owned storage first.
     pub fn sort_adjacency(&mut self) {
-        for v in 0..self.nodes() {
-            let r = self.row_ptr[v] as usize..self.row_ptr[v + 1] as usize;
-            if self.weights.is_empty() {
-                self.col[r].sort_unstable();
+        self.make_owned();
+        let Store::Owned {
+            row_ptr,
+            col,
+            weights,
+        } = &mut self.store
+        else {
+            unreachable!("make_owned just ran");
+        };
+        for v in 0..row_ptr.len() - 1 {
+            let r = row_ptr[v] as usize..row_ptr[v + 1] as usize;
+            if weights.is_empty() {
+                col[r].sort_unstable();
             } else {
-                let mut pairs: Vec<(NodeId, u32)> = self.col[r.clone()]
+                let mut pairs: Vec<(NodeId, u32)> = col[r.clone()]
                     .iter()
                     .copied()
-                    .zip(self.weights[r.clone()].iter().copied())
+                    .zip(weights[r.clone()].iter().copied())
                     .collect();
                 pairs.sort_unstable_by_key(|p| p.0);
                 for (i, (c, w)) in pairs.into_iter().enumerate() {
-                    self.col[r.start + i] = c;
-                    self.weights[r.start + i] = w;
+                    col[r.start + i] = c;
+                    weights[r.start + i] = w;
                 }
             }
         }
@@ -169,12 +391,13 @@ impl Csr {
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> (bool, Vec<usize>) {
         assert!(self.sorted, "has_edge requires sorted adjacency");
         let r = self.edge_range(u);
+        let col = self.col();
         let mut probes = Vec::new();
         let (mut lo, mut hi) = (r.start, r.end);
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
             probes.push(mid);
-            match self.col[mid].cmp(&v) {
+            match col[mid].cmp(&v) {
                 std::cmp::Ordering::Equal => return (true, probes),
                 std::cmp::Ordering::Less => lo = mid + 1,
                 std::cmp::Ordering::Greater => hi = mid,
@@ -230,24 +453,41 @@ impl Csr {
     /// Validates the CSR invariants, returning a description of the first
     /// violation. Used by property tests and the generator test-suite.
     pub fn validate(&self) -> Result<(), String> {
-        if self.row_ptr.is_empty() {
+        let row_ptr = self.row_ptr();
+        let col = self.col();
+        let weights = self.weights();
+        if row_ptr.is_empty() {
             return Err("row_ptr must have at least one entry".into());
         }
-        if self.row_ptr[0] != 0 {
+        if row_ptr[0] != 0 {
             return Err("row_ptr must start at 0".into());
         }
-        if *self.row_ptr.last().unwrap() != self.col.len() as u64 {
+        if *row_ptr.last().unwrap() != col.len() as u64 {
             return Err("row_ptr must end at edge count".into());
         }
-        if self.row_ptr.windows(2).any(|w| w[0] > w[1]) {
+        if row_ptr.windows(2).any(|w| w[0] > w[1]) {
             return Err("row_ptr must be non-decreasing".into());
         }
         let n = self.nodes() as NodeId;
-        if let Some(bad) = self.col.iter().find(|&&c| c >= n) {
+        if let Some(bad) = col.iter().find(|&&c| c >= n) {
             return Err(format!("column {bad} out of range (n={n})"));
         }
-        if !self.weights.is_empty() && self.weights.len() != self.col.len() {
+        if !weights.is_empty() && weights.len() != col.len() {
             return Err("weights length must match edges".into());
+        }
+        Ok(())
+    }
+
+    /// Checks that every adjacency list really is ascending (the claim the
+    /// `sorted` flag makes).
+    fn check_sorted(&self) -> Result<(), String> {
+        let row_ptr = self.row_ptr();
+        let col = self.col();
+        for v in 0..self.nodes() {
+            let r = row_ptr[v] as usize..row_ptr[v + 1] as usize;
+            if col[r].windows(2).any(|w| w[0] > w[1]) {
+                return Err(format!("adjacency of node {v} is not sorted"));
+            }
         }
         Ok(())
     }
@@ -363,5 +603,37 @@ mod tests {
             total += g.edge_range(v).len();
         }
         assert_eq!(total, g.edges());
+    }
+
+    #[test]
+    fn from_parts_reassembles_identical_graph() {
+        let g = Csr::from_edges(3, &[(0, 2), (0, 1), (1, 0)], Some(&[7, 3, 9]));
+        let (rp, col, w) = g.raw_parts();
+        let rebuilt = Csr::from_parts(rp.to_vec(), col.to_vec(), w.to_vec(), false).unwrap();
+        assert_eq!(g, rebuilt);
+        assert!(!rebuilt.is_mapped());
+    }
+
+    #[test]
+    fn from_parts_rejects_broken_invariants() {
+        // row_ptr not ending at the edge count.
+        assert!(Csr::from_parts(vec![0, 5], vec![0], vec![], false).is_err());
+        // Column out of range.
+        assert!(Csr::from_parts(vec![0, 1], vec![3], vec![], false).is_err());
+        // Weight length mismatch.
+        assert!(Csr::from_parts(vec![0, 1], vec![0], vec![1, 2], false).is_err());
+        // Claimed sorted but descending adjacency.
+        assert!(Csr::from_parts(vec![0, 2, 2], vec![1, 0], vec![], true).is_err());
+        // The same adjacency without the claim is fine.
+        assert!(Csr::from_parts(vec![0, 2, 2], vec![1, 0], vec![], false).is_ok());
+    }
+
+    #[test]
+    fn equality_ignores_storage_but_not_sorted_flag() {
+        let a = Csr::from_edges(2, &[(0, 1)], None);
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        b.sort_adjacency();
+        assert_ne!(a, b, "sorted flag participates in equality");
     }
 }

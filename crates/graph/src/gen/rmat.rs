@@ -50,12 +50,17 @@ impl RmatConfig {
     }
 }
 
-/// Generates the symmetric RMAT graph.
-pub fn generate(cfg: &RmatConfig, seed: u64) -> Csr {
+/// Streams the raw directed RMAT edge samples (self-loops already dropped,
+/// **before** symmetrization and dedup), invoking `f` per edge.
+///
+/// This is the bounded-memory face of the generator: `minnow-ingest --gen`
+/// writes these samples straight to an edge-list or Graph500 file without
+/// holding them, and ingesting that file with symmetrize + dedup +
+/// `nodes_hint = cfg.nodes()` reproduces [`generate`]'s graph exactly
+/// (same seed, same sampling sequence).
+pub fn for_each_edge(cfg: &RmatConfig, seed: u64, mut f: impl FnMut(NodeId, NodeId)) {
     let mut r = rng(seed);
-    let n = cfg.nodes();
-    let m = n * cfg.edge_factor;
-    let mut edges = Vec::with_capacity(m);
+    let m = cfg.nodes() * cfg.edge_factor;
     for _ in 0..m {
         let (mut u, mut v) = (0usize, 0usize);
         for _ in 0..cfg.scale {
@@ -73,9 +78,16 @@ pub fn generate(cfg: &RmatConfig, seed: u64) -> Csr {
             v = (v << 1) | dv;
         }
         if u != v {
-            edges.push((u as NodeId, v as NodeId));
+            f(u as NodeId, v as NodeId);
         }
     }
+}
+
+/// Generates the symmetric RMAT graph.
+pub fn generate(cfg: &RmatConfig, seed: u64) -> Csr {
+    let n = cfg.nodes();
+    let mut edges = Vec::with_capacity(n * cfg.edge_factor);
+    for_each_edge(cfg, seed, |u, v| edges.push((u, v)));
     Csr::from_edges(n, &edges, None).symmetrize()
 }
 
@@ -123,5 +135,29 @@ mod tests {
     #[should_panic(expected = "scale")]
     fn rejects_zero_scale() {
         let _ = RmatConfig::graph500(0, 16);
+    }
+
+    #[test]
+    fn streamed_samples_reproduce_generate() {
+        use crate::ingest::{ingest_to_csr, IngestOptions};
+        use crate::io::GraphSource;
+        let cfg = RmatConfig::graph500(8, 8);
+        let mut text = String::new();
+        for_each_edge(&cfg, 11, |u, v| {
+            text.push_str(&format!("{u} {v}\n"));
+        });
+        let (ingested, _) = ingest_to_csr(
+            GraphSource::EdgeList,
+            text.as_bytes(),
+            &IngestOptions {
+                symmetrize: true,
+                dedup: true,
+                drop_self_loops: true,
+                nodes_hint: Some(cfg.nodes() as u64),
+                ..IngestOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(ingested, generate(&cfg, 11));
     }
 }

@@ -1,0 +1,681 @@
+//! Bounded-memory streaming CSR construction (external sort).
+//!
+//! [`crate::io::stream_edges`] delivers edges one at a time; this module
+//! buffers them as packed 12-byte `(src, dst, weight)` records, sorts and
+//! spills full buffers to temp-file *runs*, then k-way-merges the runs into
+//! canonical `(src, dst, weight)` order. Because the merged stream visits
+//! sources in ascending order, the CSR sections fall out sequentially: a
+//! scale-20+ RMAT (10^7+ edges) builds with only the run buffer plus the
+//! row-pointer array resident, never the full edge list.
+//!
+//! Two sinks consume the merged stream:
+//!
+//! * [`ingest_to_csr`] — assembles an in-memory [`Csr`] (the sections are
+//!   the only O(edges) memory),
+//! * [`ingest_to_image`] — streams the col/weight sections through temp
+//!   files into a `minnow-csr-image/v1` file ([`crate::image`]), keeping
+//!   only the row-pointer array in RAM.
+//!
+//! The output is canonical: independent of input edge order and of the
+//! memory budget (the merged stream is the sorted multiset either way), so
+//! `ingest(shuffled edges) == ingest(sorted edges)` — the property pinned
+//! by the conformance suite. Adjacency lists come out sorted, so the
+//! result always has [`Csr::is_sorted`] set.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::csr::{Csr, NodeId};
+use crate::image;
+use crate::io::{stream_edges, GraphSource, ParseError};
+
+/// Knobs for one ingestion pass.
+#[derive(Debug, Clone)]
+pub struct IngestOptions {
+    /// Collapse parallel `(src, dst)` duplicates, keeping the smallest
+    /// weight (matching [`Csr::symmetrize`]'s tie rule).
+    pub dedup: bool,
+    /// Drop `v -> v` self-loops at intake.
+    pub drop_self_loops: bool,
+    /// Emit the reverse of every edge, making the graph symmetric
+    /// (combine with `dedup` to avoid doubled undirected edges).
+    pub symmetrize: bool,
+    /// Discard weights even when the input carries them.
+    pub strip_weights: bool,
+    /// Target size of the in-core run buffer in bytes (12 bytes per
+    /// buffered edge). The floor is one 4096-edge buffer.
+    pub budget_bytes: usize,
+    /// Minimum node count for the output (formats without a node-count
+    /// header otherwise trim to the largest id seen).
+    pub nodes_hint: Option<u64>,
+    /// Where spill runs and section streams go; defaults to the system
+    /// temp directory.
+    pub temp_dir: Option<PathBuf>,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions {
+            dedup: false,
+            drop_self_loops: false,
+            symmetrize: false,
+            strip_weights: false,
+            budget_bytes: 256 << 20,
+            nodes_hint: None,
+            temp_dir: None,
+        }
+    }
+}
+
+/// What one ingestion pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Edges the parser delivered (before symmetrization/dedup).
+    pub edges_read: u64,
+    /// Directed edges in the output CSR.
+    pub edges_kept: u64,
+    /// Nodes in the output CSR.
+    pub nodes: u64,
+    /// Whether the output carries weights.
+    pub weighted: bool,
+    /// Sorted runs merged (1 means the input fit in the run buffer).
+    pub runs: usize,
+}
+
+/// Unique-ish tag so concurrent ingests never collide on temp names.
+fn temp_tag() -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    format!(
+        "{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+const REC_BYTES: usize = 12;
+
+/// Accumulates edges, spilling sorted runs to disk when the buffer fills.
+struct RunSorter {
+    buf: Vec<(u32, u32, u32)>,
+    cap: usize,
+    runs: Vec<PathBuf>,
+    dir: PathBuf,
+    tag: String,
+    max_id: u64,
+    any: bool,
+}
+
+impl RunSorter {
+    fn new(opts: &IngestOptions) -> RunSorter {
+        let cap = (opts.budget_bytes / REC_BYTES).max(4096);
+        RunSorter {
+            buf: Vec::with_capacity(cap.min(1 << 20)),
+            cap,
+            runs: Vec::new(),
+            dir: opts
+                .temp_dir
+                .clone()
+                .unwrap_or_else(std::env::temp_dir),
+            tag: temp_tag(),
+            max_id: 0,
+            any: false,
+        }
+    }
+
+    fn push(&mut self, u: NodeId, v: NodeId, w: u32) -> std::io::Result<()> {
+        self.any = true;
+        self.max_id = self.max_id.max(u as u64).max(v as u64);
+        if self.buf.len() == self.cap {
+            self.spill()?;
+        }
+        self.buf.push((u, v, w));
+        Ok(())
+    }
+
+    fn spill(&mut self) -> std::io::Result<()> {
+        self.buf.sort_unstable();
+        let path = self
+            .dir
+            .join(format!("minnow-ingest-{}-run{}.tmp", self.tag, self.runs.len()));
+        let mut w = BufWriter::new(File::create(&path)?);
+        for &(a, b, c) in &self.buf {
+            w.write_all(&a.to_le_bytes())?;
+            w.write_all(&b.to_le_bytes())?;
+            w.write_all(&c.to_le_bytes())?;
+        }
+        w.flush()?;
+        self.runs.push(path);
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Merges everything pushed so far into ascending `(src, dst, weight)`
+    /// order, invoking `emit` per record. Returns the number of runs merged.
+    fn merge(mut self, mut emit: impl FnMut(u32, u32, u32)) -> std::io::Result<usize> {
+        if self.runs.is_empty() {
+            // Everything fit in core: one implicit run.
+            self.buf.sort_unstable();
+            for &(a, b, c) in &self.buf {
+                emit(a, b, c);
+            }
+            return Ok(1);
+        }
+        if !self.buf.is_empty() {
+            self.spill()?;
+        }
+        let nruns = self.runs.len();
+        let mut readers: Vec<RunReader> = self
+            .runs
+            .iter()
+            .map(|p| File::open(p).map(RunReader::new))
+            .collect::<std::io::Result<_>>()?;
+        // Seed the heap with each run's head; ties break on run index,
+        // which is irrelevant to the output (equal records are identical).
+        let mut heap = std::collections::BinaryHeap::with_capacity(nruns);
+        for (i, r) in readers.iter_mut().enumerate() {
+            if let Some(rec) = r.next()? {
+                heap.push(std::cmp::Reverse((rec, i)));
+            }
+        }
+        while let Some(std::cmp::Reverse(((a, b, c), i))) = heap.pop() {
+            emit(a, b, c);
+            if let Some(rec) = readers[i].next()? {
+                heap.push(std::cmp::Reverse((rec, i)));
+            }
+        }
+        Ok(nruns)
+    }
+}
+
+impl Drop for RunSorter {
+    fn drop(&mut self) {
+        for p in &self.runs {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+/// Buffered reader over one spilled run.
+struct RunReader {
+    reader: BufReader<File>,
+}
+
+impl RunReader {
+    fn new(file: File) -> RunReader {
+        RunReader {
+            reader: BufReader::with_capacity(64 << 10, file),
+        }
+    }
+
+    fn next(&mut self) -> std::io::Result<Option<(u32, u32, u32)>> {
+        let mut rec = [0u8; REC_BYTES];
+        let mut filled = 0;
+        while filled < REC_BYTES {
+            match self.reader.read(&mut rec[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if filled == 0 {
+            return Ok(None);
+        }
+        if filled < REC_BYTES {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "spill run truncated (disk full during ingest?)",
+            ));
+        }
+        Ok(Some((
+            u32::from_le_bytes(rec[0..4].try_into().unwrap()),
+            u32::from_le_bytes(rec[4..8].try_into().unwrap()),
+            u32::from_le_bytes(rec[8..12].try_into().unwrap()),
+        )))
+    }
+}
+
+/// Shared merge-and-build driver: runs the merge, handing each kept edge
+/// (post-dedup) to `take`, and closes out the row-pointer array.
+struct Builder {
+    row_ptr: Vec<u64>,
+    kept: u64,
+    last: Option<(u32, u32)>,
+    dedup: bool,
+    nodes: u64,
+}
+
+impl Builder {
+    fn new(nodes: u64, dedup: bool) -> Builder {
+        let mut row_ptr = Vec::with_capacity(nodes as usize + 1);
+        row_ptr.push(0);
+        Builder {
+            row_ptr,
+            kept: 0,
+            last: None,
+            dedup,
+            nodes,
+        }
+    }
+
+    /// Processes one merged record; returns the edge to keep, if any.
+    fn accept(&mut self, u: u32, v: u32, w: u32) -> Option<(u32, u32, u32)> {
+        if self.dedup && self.last == Some((u, v)) {
+            return None;
+        }
+        self.last = Some((u, v));
+        // Close out row_ptr entries for every source up to and including u.
+        // The merged stream is ascending in u, so this advances monotonically.
+        while self.row_ptr.len() <= u as usize {
+            self.row_ptr.push(self.kept);
+        }
+        self.kept += 1;
+        Some((u, v, w))
+    }
+
+    fn finish(mut self) -> Vec<u64> {
+        while self.row_ptr.len() <= self.nodes as usize {
+            self.row_ptr.push(self.kept);
+        }
+        self.row_ptr
+    }
+}
+
+/// Streams `reader` (parsed as `source`) through the external sorter into
+/// an in-memory [`Csr`] in canonical order.
+///
+/// The result is independent of the input's edge order and of
+/// `budget_bytes`; adjacency lists are sorted, so `is_sorted()` holds. The
+/// first weight in canonical order survives dedup — i.e. the minimum
+/// weight among duplicates, matching [`Csr::symmetrize`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for malformed input or I/O failure (including
+/// spill-file I/O). [`GraphSource::Image`] inputs are refused — load them
+/// with [`crate::image::load_image`].
+pub fn ingest_to_csr<R: Read>(
+    source: GraphSource,
+    reader: R,
+    opts: &IngestOptions,
+) -> Result<(Csr, IngestReport), ParseError> {
+    let (sorter, edges_read, nodes, weighted) = fill(source, reader, opts)?;
+    let mut builder = Builder::new(nodes, opts.dedup);
+    let mut col: Vec<NodeId> = Vec::new();
+    let mut weights: Vec<u32> = Vec::new();
+    let runs = sorter
+        .merge(|u, v, w| {
+            if let Some((_, v, w)) = builder.accept(u, v, w) {
+                col.push(v);
+                if weighted {
+                    weights.push(w);
+                }
+            }
+        })
+        .map_err(ParseError::Io)?;
+    let kept = col.len() as u64;
+    let row_ptr = builder.finish();
+    let graph = Csr::from_parts(row_ptr, col, weights, true)
+        .map_err(|e| ParseError::Image { message: e })?;
+    Ok((
+        graph,
+        IngestReport {
+            edges_read,
+            edges_kept: kept,
+            nodes,
+            weighted,
+            runs,
+        },
+    ))
+}
+
+/// Streams `reader` (parsed as `source`) through the external sorter
+/// directly into a `minnow-csr-image/v1` file at `image_path`, keeping
+/// only the run buffer and the row-pointer array in memory — the col and
+/// weight sections pass through temp files.
+///
+/// # Errors
+///
+/// As [`ingest_to_csr`]; additionally propagates failures writing the
+/// image or its temp section files.
+pub fn ingest_to_image<R: Read>(
+    source: GraphSource,
+    reader: R,
+    image_path: &Path,
+    opts: &IngestOptions,
+) -> Result<IngestReport, ParseError> {
+    let (sorter, edges_read, nodes, weighted) = fill(source, reader, opts)?;
+    let dir = opts
+        .temp_dir
+        .clone()
+        .unwrap_or_else(std::env::temp_dir);
+    let tag = temp_tag();
+    let col_path = dir.join(format!("minnow-ingest-{tag}-col.tmp"));
+    let w_path = dir.join(format!("minnow-ingest-{tag}-wts.tmp"));
+    let result = ingest_to_image_inner(
+        sorter, edges_read, nodes, weighted, opts, image_path, &col_path, &w_path,
+    );
+    let _ = std::fs::remove_file(&col_path);
+    let _ = std::fs::remove_file(&w_path);
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn ingest_to_image_inner(
+    sorter: RunSorter,
+    edges_read: u64,
+    nodes: u64,
+    weighted: bool,
+    opts: &IngestOptions,
+    image_path: &Path,
+    col_path: &Path,
+    w_path: &Path,
+) -> Result<IngestReport, ParseError> {
+    // Read+write handles: assemble_image rewinds and copies these back out.
+    let section_file = |p: &Path| {
+        std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(p)
+    };
+    let mut col_out = BufWriter::new(section_file(col_path)?);
+    let mut w_out = if weighted {
+        Some(BufWriter::new(section_file(w_path)?))
+    } else {
+        None
+    };
+    let mut col_digest = image::Fnv::new();
+    let mut w_digest = image::Fnv::new();
+    let mut builder = Builder::new(nodes, opts.dedup);
+    let mut io_err: Option<std::io::Error> = None;
+    let runs = sorter
+        .merge(|u, v, w| {
+            if io_err.is_some() {
+                return;
+            }
+            if let Some((_, v, w)) = builder.accept(u, v, w) {
+                let vb = v.to_le_bytes();
+                col_digest.update(&vb);
+                if let Err(e) = col_out.write_all(&vb) {
+                    io_err = Some(e);
+                    return;
+                }
+                if let Some(out) = &mut w_out {
+                    let wb = w.to_le_bytes();
+                    w_digest.update(&wb);
+                    if let Err(e) = out.write_all(&wb) {
+                        io_err = Some(e);
+                    }
+                }
+            }
+        })
+        .map_err(ParseError::Io)?;
+    if let Some(e) = io_err {
+        return Err(ParseError::Io(e));
+    }
+    let kept = builder.kept;
+    let row_ptr = builder.finish();
+    col_out.flush()?;
+    let mut col_file = col_out.into_inner().map_err(|e| e.into_error())?;
+    let mut w_file = match w_out {
+        Some(mut out) => {
+            out.flush()?;
+            Some(out.into_inner().map_err(|e| e.into_error())?)
+        }
+        None => None,
+    };
+    image::assemble_image(
+        image_path,
+        &row_ptr,
+        true, // canonical order sorts every adjacency list
+        &mut col_file,
+        col_digest.finish(),
+        w_file.as_mut().map(|f| (f, w_digest.finish())),
+        kept,
+    )?;
+    Ok(IngestReport {
+        edges_read,
+        edges_kept: kept,
+        nodes,
+        weighted,
+        runs,
+    })
+}
+
+/// Intake half shared by both sinks: parse, filter, spill.
+fn fill<R: Read>(
+    source: GraphSource,
+    reader: R,
+    opts: &IngestOptions,
+) -> Result<(RunSorter, u64, u64, bool), ParseError> {
+    let mut sorter = RunSorter::new(opts);
+    let mut edges_read = 0u64;
+    let drop_loops = opts.drop_self_loops;
+    let symmetrize = opts.symmetrize;
+    let info = {
+        let s = &mut sorter;
+        stream_edges(source, reader, |u, v, w| {
+            edges_read += 1;
+            if drop_loops && u == v {
+                return Ok(());
+            }
+            s.push(u, v, w)?;
+            if symmetrize && u != v {
+                s.push(v, u, w)?;
+            }
+            Ok(())
+        })?
+    };
+    let declared = info.declared_nodes.unwrap_or(0);
+    let hinted = opts.nodes_hint.unwrap_or(0);
+    let seen = if sorter.any { sorter.max_id + 1 } else { 0 };
+    let nodes = declared.max(hinted).max(seen);
+    let weighted = info.weighted && !opts.strip_weights;
+    Ok((sorter, edges_read, nodes, weighted))
+}
+
+/// [`ingest_to_csr`] over a file path, with format auto-detection.
+///
+/// # Errors
+///
+/// As [`ingest_to_csr`], plus file-open failures.
+pub fn ingest_file_to_csr(
+    path: &Path,
+    source: Option<GraphSource>,
+    opts: &IngestOptions,
+) -> Result<(Csr, IngestReport), ParseError> {
+    let source = source.unwrap_or_else(|| GraphSource::detect(path));
+    ingest_to_csr(source, File::open(path)?, opts)
+}
+
+/// [`ingest_to_image`] over a file path, with format auto-detection.
+///
+/// # Errors
+///
+/// As [`ingest_to_image`], plus file-open failures.
+pub fn ingest_file_to_image(
+    path: &Path,
+    source: Option<GraphSource>,
+    image_path: &Path,
+    opts: &IngestOptions,
+) -> Result<IngestReport, ParseError> {
+    let source = source.unwrap_or_else(|| GraphSource::detect(path));
+    ingest_to_image(source, File::open(path)?, image_path, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canonical(edges: &[(u32, u32, u32)], nodes: usize, weighted: bool) -> Csr {
+        let mut sorted = edges.to_vec();
+        sorted.sort_unstable();
+        let pairs: Vec<(NodeId, NodeId)> = sorted.iter().map(|&(u, v, _)| (u, v)).collect();
+        let ws: Vec<u32> = sorted.iter().map(|&(_, _, w)| w).collect();
+        let mut g = Csr::from_edges(nodes, &pairs, if weighted { Some(&ws) } else { None });
+        g.sort_adjacency();
+        g
+    }
+
+    fn as_edge_list(edges: &[(u32, u32, u32)]) -> String {
+        edges
+            .iter()
+            .map(|&(u, v, w)| format!("{u} {v} {w}\n"))
+            .collect()
+    }
+
+    #[test]
+    fn stream_build_matches_in_memory_build() {
+        let edges = [(3u32, 1u32, 5u32), (0, 2, 1), (3, 0, 9), (1, 3, 2), (0, 1, 4)];
+        let text = as_edge_list(&edges);
+        let (g, report) =
+            ingest_to_csr(GraphSource::EdgeList, text.as_bytes(), &IngestOptions::default())
+                .unwrap();
+        assert_eq!(g, canonical(&edges, 4, true));
+        assert!(g.is_sorted());
+        assert_eq!(report.edges_read, 5);
+        assert_eq!(report.edges_kept, 5);
+        assert_eq!(report.nodes, 4);
+        assert!(report.weighted);
+        assert_eq!(report.runs, 1);
+    }
+
+    #[test]
+    fn tiny_budget_forces_spills_without_changing_output() {
+        let edges: Vec<(u32, u32, u32)> = (0..20000u32)
+            .map(|i| ((i * 7919) % 503, (i * 104729) % 503, 1 + i % 9))
+            .collect();
+        let text = as_edge_list(&edges);
+        let big = ingest_to_csr(
+            GraphSource::EdgeList,
+            text.as_bytes(),
+            &IngestOptions::default(),
+        )
+        .unwrap();
+        let tiny = ingest_to_csr(
+            GraphSource::EdgeList,
+            text.as_bytes(),
+            &IngestOptions {
+                budget_bytes: 1, // floors at 4096 records -> ~5 runs
+                ..IngestOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(tiny.1.runs > 1, "expected spills, got {} run(s)", tiny.1.runs);
+        assert_eq!(big.0, tiny.0);
+        assert_eq!(big.1.edges_kept, tiny.1.edges_kept);
+    }
+
+    #[test]
+    fn dedup_keeps_min_weight_and_loops_drop() {
+        let text = "2 1 9\n2 1 3\n2 1 7\n1 1 5\n0 2 4\n";
+        let (g, report) = ingest_to_csr(
+            GraphSource::EdgeList,
+            text.as_bytes(),
+            &IngestOptions {
+                dedup: true,
+                drop_self_loops: true,
+                ..IngestOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.edges_read, 5);
+        assert_eq!(report.edges_kept, 2);
+        assert_eq!(g.neighbors(2), &[1]);
+        let e = g.edge_range(2).start;
+        assert_eq!(g.edge_weight(e), 3, "min weight among duplicates survives");
+        assert_eq!(g.out_degree(1), 0, "self-loop dropped");
+    }
+
+    #[test]
+    fn symmetrize_dedup_matches_csr_symmetrize() {
+        let raw = [(0u32, 1u32), (1, 2), (2, 0), (1, 0), (3, 1)];
+        let text: String = raw.iter().map(|&(u, v)| format!("{u} {v}\n")).collect();
+        let (g, _) = ingest_to_csr(
+            GraphSource::EdgeList,
+            text.as_bytes(),
+            &IngestOptions {
+                dedup: true,
+                symmetrize: true,
+                drop_self_loops: true,
+                ..IngestOptions::default()
+            },
+        )
+        .unwrap();
+        let reference = Csr::from_edges(4, &raw, None).symmetrize();
+        assert_eq!(g, reference);
+    }
+
+    #[test]
+    fn nodes_hint_pads_isolated_tail() {
+        let (g, report) = ingest_to_csr(
+            GraphSource::EdgeList,
+            "0 1\n".as_bytes(),
+            &IngestOptions {
+                nodes_hint: Some(10),
+                ..IngestOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(g.nodes(), 10);
+        assert_eq!(report.nodes, 10);
+        assert_eq!(g.out_degree(9), 0);
+    }
+
+    #[test]
+    fn image_sink_matches_csr_sink() {
+        let edges: Vec<(u32, u32, u32)> = (0..5000u32)
+            .map(|i| ((i * 31) % 97, (i * 17) % 97, 1 + i % 5))
+            .collect();
+        let text = as_edge_list(&edges);
+        let path = std::env::temp_dir().join(format!(
+            "minnow-ingest-test-{}-sink.mcsr",
+            std::process::id()
+        ));
+        let opts = IngestOptions {
+            budget_bytes: 1,
+            ..IngestOptions::default()
+        };
+        let (direct, r1) =
+            ingest_to_csr(GraphSource::EdgeList, text.as_bytes(), &opts).unwrap();
+        let r2 =
+            ingest_to_image(GraphSource::EdgeList, text.as_bytes(), &path, &opts).unwrap();
+        assert_eq!(r1, r2);
+        for mode in [image::LoadMode::Read, image::LoadMode::Auto] {
+            let loaded = image::load_image(&path, mode).unwrap();
+            assert_eq!(direct, loaded);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_input_ingests_to_empty_graph() {
+        let (g, report) = ingest_to_csr(
+            GraphSource::EdgeList,
+            "# nothing\n".as_bytes(),
+            &IngestOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(g.nodes(), 0);
+        assert_eq!(g.edges(), 0);
+        assert_eq!(report.edges_read, 0);
+    }
+
+    #[test]
+    fn parse_errors_propagate_not_panic() {
+        let err = ingest_to_csr(
+            GraphSource::EdgeList,
+            "0 1\nbroken\n".as_bytes(),
+            &IngestOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = ingest_to_csr(GraphSource::Image, &[][..], &IngestOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, ParseError::Image { .. }));
+    }
+}

@@ -1,29 +1,50 @@
-//! Graph file I/O: DIMACS shortest-path (`.gr`) and plain edge-list formats.
+//! Graph file I/O: the external formats behind `minnow-sweep --input`.
 //!
-//! The paper's road-network inputs (`USA-road-d.*`) ship in 9th DIMACS
-//! Implementation Challenge format; this module reads and writes it so the
-//! reproduction can also run on the original inputs when available.
+//! Four external formats are unified behind [`GraphSource`], each with a
+//! streaming parser (used by the bounded-memory [`crate::ingest`] pipeline),
+//! an in-memory reader, and a writer:
 //!
-//! Formats:
+//! * **Edge list** ([`GraphSource::EdgeList`]): one `src dst [weight]`
+//!   triple per line, **0-based** ids. `#` starts a comment that runs to
+//!   end of line (so SNAP-style `# Nodes: … Edges: …` headers are skipped),
+//!   and lines beginning with `%` are skipped too. The node count is one
+//!   past the largest id seen — a 1-indexed file therefore loads with an
+//!   extra isolated node 0 rather than shifting ids; convert such files
+//!   explicitly if that matters.
+//! * **Matrix Market** ([`GraphSource::MatrixMarket`]): `%%MatrixMarket
+//!   matrix coordinate <pattern|integer|real> <general|symmetric>` with
+//!   **1-based** ids (stored 0-based); `symmetric` emits both directions.
+//! * **Graph500 binary** ([`GraphSource::Graph500`]): the reference-code
+//!   edge tuple layout — 16-byte records of two little-endian `u64` node
+//!   ids, 0-based, unweighted.
+//! * **DIMACS** ([`GraphSource::Dimacs`]): 9th DIMACS Implementation
+//!   Challenge shortest-path format (`c` comments, one `p sp <nodes>
+//!   <arcs>` problem line, `a <src> <dst> <weight>` arcs, **1-based** ids,
+//!   stored 0-based) — the paper's `USA-road-d.*` inputs ship in it.
 //!
-//! * **DIMACS**: `c` comment lines, one `p sp <nodes> <arcs>` problem line,
-//!   and `a <src> <dst> <weight>` arc lines with **1-based** node ids.
-//! * **Edge list**: one `src dst [weight]` triple per line, 0-based ids,
-//!   `#` comments.
+//! [`GraphSource::Image`] rounds out the enum for dispatch purposes; binary
+//! CSR images are loaded through [`crate::image::load_image`] rather than an
+//! edge-stream parser.
 
 use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
 
 use crate::csr::{Csr, NodeId};
 
 /// Errors from graph parsing.
 #[derive(Debug)]
 pub enum ParseError {
-    /// Underlying I/O failure.
+    /// Underlying I/O failure (including non-UTF8 bytes in text formats).
     Io(std::io::Error),
     /// Structural problem with the input text.
     Format {
-        /// 1-based line number.
+        /// 1-based line number (record number for binary formats).
         line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Structural problem with a binary CSR image.
+    Image {
         /// What went wrong.
         message: String,
     },
@@ -36,6 +57,7 @@ impl std::fmt::Display for ParseError {
             ParseError::Format { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
+            ParseError::Image { message } => write!(f, "csr image error: {message}"),
         }
     }
 }
@@ -44,7 +66,7 @@ impl std::error::Error for ParseError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ParseError::Io(e) => Some(e),
-            ParseError::Format { .. } => None,
+            ParseError::Format { .. } | ParseError::Image { .. } => None,
         }
     }
 }
@@ -62,18 +84,172 @@ fn format_err(line: usize, message: impl Into<String>) -> ParseError {
     }
 }
 
-/// Reads a DIMACS `.gr` shortest-path graph.
+/// The external graph formats `minnow` can consume, plus the binary CSR
+/// image. See the module docs for each format's shape and id base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphSource {
+    /// `src dst [weight]` per line, 0-based, `#`/`%` comments.
+    EdgeList,
+    /// Matrix Market coordinate format, 1-based.
+    MatrixMarket,
+    /// Graph500-style binary edge tuples (two LE `u64`s per edge).
+    Graph500,
+    /// 9th DIMACS Challenge `.gr` shortest-path format, 1-based.
+    Dimacs,
+    /// `minnow-csr-image/v1` binary CSR image.
+    Image,
+}
+
+impl GraphSource {
+    /// Every source, in CLI listing order.
+    pub const ALL: [GraphSource; 5] = [
+        GraphSource::EdgeList,
+        GraphSource::MatrixMarket,
+        GraphSource::Graph500,
+        GraphSource::Dimacs,
+        GraphSource::Image,
+    ];
+
+    /// Canonical CLI label.
+    pub fn label(self) -> &'static str {
+        match self {
+            GraphSource::EdgeList => "edge-list",
+            GraphSource::MatrixMarket => "matrix-market",
+            GraphSource::Graph500 => "graph500",
+            GraphSource::Dimacs => "dimacs",
+            GraphSource::Image => "image",
+        }
+    }
+
+    /// Parses a CLI spelling (canonical labels plus common aliases like
+    /// `el`, `mtx`, `g500`, `gr`, `mcsr`).
+    pub fn parse(s: &str) -> Option<GraphSource> {
+        match s {
+            "edge-list" | "edgelist" | "el" | "tsv" | "txt" => Some(GraphSource::EdgeList),
+            "matrix-market" | "matrixmarket" | "mtx" => Some(GraphSource::MatrixMarket),
+            "graph500" | "g500" | "bin" => Some(GraphSource::Graph500),
+            "dimacs" | "gr" => Some(GraphSource::Dimacs),
+            "image" | "mcsr" | "csr" => Some(GraphSource::Image),
+            _ => None,
+        }
+    }
+
+    /// Infers the source from a path's extension; unknown or missing
+    /// extensions default to the edge-list format.
+    pub fn detect(path: &Path) -> GraphSource {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("mtx") => GraphSource::MatrixMarket,
+            Some("g500") | Some("bin") => GraphSource::Graph500,
+            Some("gr") | Some("dimacs") => GraphSource::Dimacs,
+            Some("mcsr") | Some("csrimg") => GraphSource::Image,
+            _ => GraphSource::EdgeList,
+        }
+    }
+}
+
+/// What a streaming parse learned about its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeStreamInfo {
+    /// Edges delivered to the sink.
+    pub edges: u64,
+    /// Node count declared by the format's header, if it has one.
+    pub declared_nodes: Option<u64>,
+    /// Whether the input carried explicit weights (DIMACS always does;
+    /// Graph500 never does; edge lists and `.mtx` depend on the content).
+    pub weighted: bool,
+}
+
+/// Streams the edges of a text or binary edge format into `sink` without
+/// materializing the edge list — the front half of [`crate::ingest`].
+///
+/// The sink receives `(src, dst, weight)` with 0-based ids (weight 1 when
+/// the input has none) and may abort the parse by returning an error.
 ///
 /// # Errors
 ///
-/// Returns [`ParseError`] on I/O failure, missing/duplicate problem line,
-/// out-of-range node ids, or malformed arc lines.
-pub fn read_dimacs<R: Read>(reader: R) -> Result<Csr, ParseError> {
-    let reader = BufReader::new(reader);
-    let mut nodes: Option<usize> = None;
-    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
-    let mut weights: Vec<u32> = Vec::new();
+/// Returns [`ParseError`] for I/O failures and malformed input, and for
+/// [`GraphSource::Image`], which holds a finished CSR rather than an edge
+/// stream (load it with [`crate::image::load_image`]).
+pub fn stream_edges<R, F>(
+    source: GraphSource,
+    reader: R,
+    sink: F,
+) -> Result<EdgeStreamInfo, ParseError>
+where
+    R: Read,
+    F: FnMut(NodeId, NodeId, u32) -> Result<(), ParseError>,
+{
+    match source {
+        GraphSource::EdgeList => stream_edge_list(reader, sink),
+        GraphSource::MatrixMarket => stream_matrix_market(reader, sink),
+        GraphSource::Graph500 => stream_graph500(reader, sink),
+        GraphSource::Dimacs => stream_dimacs(reader, sink),
+        GraphSource::Image => Err(ParseError::Image {
+            message: "a CSR image is not an edge stream; load it with load_image".into(),
+        }),
+    }
+}
 
+fn check_id_range(lineno: usize, src: u64, dst: u64) -> Result<(), ParseError> {
+    if src > u32::MAX as u64 - 1 || dst > u32::MAX as u64 - 1 {
+        return Err(format_err(lineno, "node id exceeds u32 range"));
+    }
+    Ok(())
+}
+
+fn stream_edge_list<R, F>(reader: R, mut sink: F) -> Result<EdgeStreamInfo, ParseError>
+where
+    R: Read,
+    F: FnMut(NodeId, NodeId, u32) -> Result<(), ParseError>,
+{
+    let reader = BufReader::new(reader);
+    let mut info = EdgeStreamInfo {
+        edges: 0,
+        declared_nodes: None,
+        weighted: false,
+    };
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let body = line.split('#').next().unwrap_or("");
+        if body.trim_start().starts_with('%') {
+            continue;
+        }
+        let mut parts = body.split_whitespace();
+        let Some(src) = parts.next() else { continue };
+        let src: u64 = src
+            .parse()
+            .map_err(|_| format_err(lineno, "bad source id"))?;
+        let dst: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format_err(lineno, "missing target id"))?;
+        let w: u32 = match parts.next() {
+            Some(s) => {
+                info.weighted = true;
+                s.parse().map_err(|_| format_err(lineno, "bad weight"))?
+            }
+            None => 1,
+        };
+        check_id_range(lineno, src, dst)?;
+        sink(src as NodeId, dst as NodeId, w)?;
+        info.edges += 1;
+    }
+    Ok(info)
+}
+
+fn stream_dimacs<R, F>(reader: R, mut sink: F) -> Result<EdgeStreamInfo, ParseError>
+where
+    R: Read,
+    F: FnMut(NodeId, NodeId, u32) -> Result<(), ParseError>,
+{
+    let reader = BufReader::new(reader);
+    let mut nodes: Option<u64> = None;
+    let mut info = EdgeStreamInfo {
+        edges: 0,
+        declared_nodes: None,
+        weighted: true, // DIMACS arcs always carry a weight
+    };
     for (idx, line) in reader.lines().enumerate() {
         let lineno = idx + 1;
         let line = line?;
@@ -87,17 +263,16 @@ pub fn read_dimacs<R: Read>(reader: R) -> Result<Csr, ParseError> {
                 if parts.next() != Some("sp") {
                     return Err(format_err(lineno, "expected `p sp <nodes> <arcs>`"));
                 }
-                let n: usize = parts
+                let n: u64 = parts
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| format_err(lineno, "bad node count"))?;
-                let m: usize = parts
+                let _m: u64 = parts
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| format_err(lineno, "bad arc count"))?;
                 nodes = Some(n);
-                edges.reserve(m);
-                weights.reserve(m);
+                info.declared_nodes = Some(n);
             }
             Some("a") => {
                 let n = nodes.ok_or_else(|| format_err(lineno, "arc before problem line"))?;
@@ -108,19 +283,246 @@ pub fn read_dimacs<R: Read>(reader: R) -> Result<Csr, ParseError> {
                         .ok_or_else(|| format_err(lineno, format!("bad {name}")))
                 };
                 let (src, dst, w) = (field("source")?, field("target")?, field("weight")?);
-                if src == 0 || dst == 0 || src as usize > n || dst as usize > n {
+                if src == 0 || dst == 0 || src > n || dst > n {
                     return Err(format_err(lineno, "node id out of range (1-based)"));
                 }
-                edges.push(((src - 1) as NodeId, (dst - 1) as NodeId));
-                weights.push(w.min(u32::MAX as u64) as u32);
+                check_id_range(lineno, src - 1, dst - 1)?;
+                sink(
+                    (src - 1) as NodeId,
+                    (dst - 1) as NodeId,
+                    w.min(u32::MAX as u64) as u32,
+                )?;
+                info.edges += 1;
             }
             Some(other) => {
                 return Err(format_err(lineno, format!("unknown line type `{other}`")));
             }
         }
     }
-    let n = nodes.ok_or_else(|| format_err(0, "missing problem line"))?;
-    Ok(Csr::from_edges(n, &edges, Some(&weights)))
+    if nodes.is_none() {
+        return Err(format_err(0, "missing problem line"));
+    }
+    Ok(info)
+}
+
+fn stream_matrix_market<R, F>(reader: R, mut sink: F) -> Result<EdgeStreamInfo, ParseError>
+where
+    R: Read,
+    F: FnMut(NodeId, NodeId, u32) -> Result<(), ParseError>,
+{
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines().enumerate();
+
+    // Banner: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let (_, banner) = lines
+        .next()
+        .ok_or_else(|| format_err(1, "empty file (missing MatrixMarket banner)"))?;
+    let banner = banner?;
+    let b: Vec<&str> = banner.split_whitespace().collect();
+    if b.first().map(|s| s.to_ascii_lowercase()) != Some("%%matrixmarket".into()) {
+        return Err(format_err(1, "missing %%MatrixMarket banner"));
+    }
+    if b.len() < 5 {
+        return Err(format_err(
+            1,
+            "banner must be `%%MatrixMarket matrix coordinate <field> <symmetry>`",
+        ));
+    }
+    if !b[1].eq_ignore_ascii_case("matrix") || !b[2].eq_ignore_ascii_case("coordinate") {
+        return Err(format_err(
+            1,
+            format!("only `matrix coordinate` is supported, got `{} {}`", b[1], b[2]),
+        ));
+    }
+    let pattern = match b[3].to_ascii_lowercase().as_str() {
+        "pattern" => true,
+        "integer" | "real" => false,
+        other => {
+            return Err(format_err(
+                1,
+                format!("unsupported field `{other}` (want pattern|integer|real)"),
+            ))
+        }
+    };
+    let symmetric = match b[4].to_ascii_lowercase().as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => {
+            return Err(format_err(
+                1,
+                format!("unsupported symmetry `{other}` (want general|symmetric)"),
+            ))
+        }
+    };
+
+    // Comments, then the size line: rows cols nnz.
+    let mut size: Option<(u64, u64, u64)> = None;
+    let mut size_line = 0usize;
+    for (idx, line) in lines.by_ref() {
+        let lineno = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let mut field = |name: &str| {
+            parts
+                .next()
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| format_err(lineno, format!("bad {name} in size line")))
+        };
+        size = Some((field("row count")?, field("column count")?, field("entry count")?));
+        size_line = lineno;
+        break;
+    }
+    let (rows, cols, nnz) = size.ok_or_else(|| format_err(0, "missing size line"))?;
+
+    let mut info = EdgeStreamInfo {
+        edges: 0,
+        declared_nodes: Some(rows.max(cols)),
+        weighted: !pattern,
+    };
+    let mut entries = 0u64;
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        if entries == nnz {
+            return Err(format_err(
+                lineno,
+                format!("more than the declared {nnz} entries"),
+            ));
+        }
+        let mut parts = trimmed.split_whitespace();
+        let mut field = |name: &str| {
+            parts
+                .next()
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| format_err(lineno, format!("bad {name}")))
+        };
+        let (i, j) = (field("row index")?, field("column index")?);
+        if i == 0 || j == 0 || i > rows || j > cols {
+            return Err(format_err(
+                lineno,
+                format!("entry ({i}, {j}) out of range for a {rows} x {cols} matrix (1-based)"),
+            ));
+        }
+        let w: u32 = if pattern {
+            1
+        } else {
+            let raw = parts
+                .next()
+                .ok_or_else(|| format_err(lineno, "missing entry value"))?;
+            match raw.parse::<u64>() {
+                Ok(v) => v.min(u32::MAX as u64) as u32,
+                Err(_) => {
+                    let v: f64 = raw
+                        .parse()
+                        .map_err(|_| format_err(lineno, "bad entry value"))?;
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(format_err(lineno, "entry value must be finite and >= 0"));
+                    }
+                    v.round().min(u32::MAX as f64) as u32
+                }
+            }
+        };
+        check_id_range(lineno, i - 1, j - 1)?;
+        entries += 1;
+        sink((i - 1) as NodeId, (j - 1) as NodeId, w)?;
+        info.edges += 1;
+        if symmetric && i != j {
+            sink((j - 1) as NodeId, (i - 1) as NodeId, w)?;
+            info.edges += 1;
+        }
+    }
+    if entries != nnz {
+        return Err(format_err(
+            size_line,
+            format!("size line declares {nnz} entries but the file has {entries}"),
+        ));
+    }
+    Ok(info)
+}
+
+fn stream_graph500<R, F>(reader: R, mut sink: F) -> Result<EdgeStreamInfo, ParseError>
+where
+    R: Read,
+    F: FnMut(NodeId, NodeId, u32) -> Result<(), ParseError>,
+{
+    let mut reader = BufReader::new(reader);
+    let mut info = EdgeStreamInfo {
+        edges: 0,
+        declared_nodes: None,
+        weighted: false,
+    };
+    let mut rec = [0u8; 16];
+    loop {
+        // Fill a whole record, tolerating short reads; a partial record at
+        // EOF is a truncation error, a clean EOF ends the stream.
+        let mut filled = 0;
+        while filled < rec.len() {
+            match reader.read(&mut rec[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if filled == 0 {
+            break;
+        }
+        let record = info.edges as usize + 1;
+        if filled < rec.len() {
+            return Err(format_err(
+                record,
+                format!(
+                    "truncated record ({filled} trailing bytes; the file length \
+                     must be a multiple of 16)"
+                ),
+            ));
+        }
+        let src = u64::from_le_bytes(rec[0..8].try_into().unwrap());
+        let dst = u64::from_le_bytes(rec[8..16].try_into().unwrap());
+        check_id_range(record, src, dst)?;
+        sink(src as NodeId, dst as NodeId, 1)?;
+        info.edges += 1;
+    }
+    Ok(info)
+}
+
+/// Collects a streamed format into an in-memory CSR, preserving the file's
+/// edge order. `declared_nodes` (if any) wins over the largest id seen.
+fn collect_stream<R: Read>(source: GraphSource, reader: R) -> Result<Csr, ParseError> {
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut weights: Vec<u32> = Vec::new();
+    let mut max_node: u64 = 0;
+    let info = stream_edges(source, reader, |u, v, w| {
+        max_node = max_node.max(u as u64).max(v as u64);
+        edges.push((u, v));
+        weights.push(w);
+        Ok(())
+    })?;
+    let seen = if edges.is_empty() { 0 } else { max_node + 1 };
+    let n = info.declared_nodes.unwrap_or(0).max(seen) as usize;
+    Ok(if info.weighted {
+        Csr::from_edges(n, &edges, Some(&weights))
+    } else {
+        Csr::from_edges(n, &edges, None)
+    })
+}
+
+/// Reads a DIMACS `.gr` shortest-path graph.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on I/O failure, missing/duplicate problem line,
+/// out-of-range node ids, or malformed arc lines.
+pub fn read_dimacs<R: Read>(reader: R) -> Result<Csr, ParseError> {
+    collect_stream(GraphSource::Dimacs, reader)
 }
 
 /// Writes a graph in DIMACS `.gr` format (1-based ids; unweighted graphs get
@@ -140,52 +542,128 @@ pub fn write_dimacs<W: Write>(graph: &Csr, mut writer: W) -> std::io::Result<()>
     Ok(())
 }
 
-/// Reads a plain edge list (`src dst [weight]` per line, 0-based, `#`
-/// comments). The node count is one past the largest id seen.
+/// Reads a plain edge list (`src dst [weight]` per line, **0-based** ids).
+///
+/// Comment handling: everything after a `#` on any line is ignored (so
+/// SNAP-style `# Nodes: … Edges: …` headers are silently skipped), and
+/// lines whose first non-blank character is `%` are skipped whole. The
+/// graph is weighted iff at least one line carries a third column; lines
+/// without one default to weight 1. The node count is one past the largest
+/// id seen — ids are **not** re-based, so a 1-indexed file gains an
+/// isolated node 0 (see the module docs).
 ///
 /// # Errors
 ///
-/// Returns [`ParseError`] on I/O failure or malformed lines.
+/// Returns [`ParseError`] on I/O failure (including non-UTF8 bytes) or
+/// malformed lines; node ids above `u32::MAX - 1` are rejected.
 pub fn read_edge_list<R: Read>(reader: R) -> Result<Csr, ParseError> {
-    let reader = BufReader::new(reader);
-    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
-    let mut weights: Vec<u32> = Vec::new();
-    let mut any_weight = false;
-    let mut max_node: u64 = 0;
+    collect_stream(GraphSource::EdgeList, reader)
+}
 
-    for (idx, line) in reader.lines().enumerate() {
-        let lineno = idx + 1;
-        let line = line?;
-        let body = line.split('#').next().unwrap_or("");
-        let mut parts = body.split_whitespace();
-        let Some(src) = parts.next() else { continue };
-        let src: u64 = src
-            .parse()
-            .map_err(|_| format_err(lineno, "bad source id"))?;
-        let dst: u64 = parts
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| format_err(lineno, "missing target id"))?;
-        let w: u32 = match parts.next() {
-            Some(s) => {
-                any_weight = true;
-                s.parse().map_err(|_| format_err(lineno, "bad weight"))?
+/// Writes a plain edge list (0-based ids, one `src dst [weight]` per line;
+/// the weight column appears only for weighted graphs).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_edge_list<W: Write>(graph: &Csr, mut writer: W) -> std::io::Result<()> {
+    let weighted = graph.is_weighted();
+    for v in 0..graph.nodes() as NodeId {
+        for (_, u, w) in graph.edges_of(v) {
+            if weighted {
+                writeln!(writer, "{v} {u} {w}")?;
+            } else {
+                writeln!(writer, "{v} {u}")?;
             }
-            None => 1,
-        };
-        if src > u32::MAX as u64 - 1 || dst > u32::MAX as u64 - 1 {
-            return Err(format_err(lineno, "node id exceeds u32 range"));
         }
-        max_node = max_node.max(src).max(dst);
-        edges.push((src as NodeId, dst as NodeId));
-        weights.push(w);
     }
-    let n = if edges.is_empty() { 0 } else { max_node as usize + 1 };
-    Ok(if any_weight {
-        Csr::from_edges(n, &edges, Some(&weights))
-    } else {
-        Csr::from_edges(n, &edges, None)
-    })
+    Ok(())
+}
+
+/// Reads a Matrix Market coordinate file (1-based ids, stored 0-based;
+/// `symmetric` inputs emit both edge directions; `pattern` inputs are
+/// unweighted, `integer`/`real` values become `u32` weights).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on I/O failure, a malformed banner/size line,
+/// out-of-range entries (including any entry against a zero-node header),
+/// or an entry count that contradicts the size line.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr, ParseError> {
+    collect_stream(GraphSource::MatrixMarket, reader)
+}
+
+/// Writes a Matrix Market coordinate file (`integer general` for weighted
+/// graphs, `pattern general` otherwise; ids 1-based on disk).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_matrix_market<W: Write>(graph: &Csr, mut writer: W) -> std::io::Result<()> {
+    let weighted = graph.is_weighted();
+    writeln!(
+        writer,
+        "%%MatrixMarket matrix coordinate {} general",
+        if weighted { "integer" } else { "pattern" }
+    )?;
+    writeln!(writer, "% generated by minnow-graph")?;
+    writeln!(writer, "{} {} {}", graph.nodes(), graph.nodes(), graph.edges())?;
+    for v in 0..graph.nodes() as NodeId {
+        for (_, u, w) in graph.edges_of(v) {
+            if weighted {
+                writeln!(writer, "{} {} {}", v + 1, u + 1, w)?;
+            } else {
+                writeln!(writer, "{} {}", v + 1, u + 1)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads Graph500-style binary edge tuples (16-byte records of two
+/// little-endian `u64` node ids; unweighted).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on I/O failure, a file length that is not a
+/// multiple of 16, or node ids above `u32::MAX - 1`.
+pub fn read_graph500<R: Read>(reader: R) -> Result<Csr, ParseError> {
+    collect_stream(GraphSource::Graph500, reader)
+}
+
+/// Writes Graph500-style binary edge tuples. Weights, having no place in
+/// the format, are dropped.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_graph500<W: Write>(graph: &Csr, mut writer: W) -> std::io::Result<()> {
+    for v in 0..graph.nodes() as NodeId {
+        for (_, u, _) in graph.edges_of(v) {
+            writer.write_all(&(v as u64).to_le_bytes())?;
+            writer.write_all(&(u as u64).to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads any graph file, inferring the format from the extension unless
+/// `source` pins it. Text/binary edge formats preserve file edge order;
+/// images load via [`crate::image::load_image`] in the given mode.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on I/O failure or malformed content.
+pub fn read_file(
+    path: &Path,
+    source: Option<GraphSource>,
+    mode: crate::image::LoadMode,
+) -> Result<Csr, ParseError> {
+    let source = source.unwrap_or_else(|| GraphSource::detect(path));
+    match source {
+        GraphSource::Image => crate::image::load_image(path, mode),
+        other => collect_stream(other, std::fs::File::open(path)?),
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +714,15 @@ a 3 2 2
     }
 
     #[test]
+    fn dimacs_declared_nodes_win_over_max_seen_id() {
+        // Five declared nodes, arcs touching only the first two: the
+        // remaining nodes must exist as isolated nodes.
+        let g = read_dimacs("p sp 5 1\na 1 2 3\n".as_bytes()).unwrap();
+        assert_eq!(g.nodes(), 5);
+        assert_eq!(g.edges(), 1);
+    }
+
+    #[test]
     fn edge_list_infers_nodes_and_weights() {
         let g = read_edge_list("0 1 5\n1 2 3\n# comment\n2 0 1\n".as_bytes()).unwrap();
         assert_eq!(g.nodes(), 3);
@@ -245,6 +732,31 @@ a 3 2 2
         let unweighted = read_edge_list("0 3\n3 0\n".as_bytes()).unwrap();
         assert_eq!(unweighted.nodes(), 4);
         assert!(!unweighted.is_weighted());
+    }
+
+    #[test]
+    fn edge_list_is_zero_based_and_does_not_rebase() {
+        // A "1-indexed" file: ids 1..=3. Node 0 exists but is isolated —
+        // the documented behavior (ids are taken literally).
+        let g = read_edge_list("1 2\n2 3\n3 1\n".as_bytes()).unwrap();
+        assert_eq!(g.nodes(), 4);
+        assert_eq!(g.out_degree(0), 0);
+        assert_eq!(g.neighbors(1), &[2]);
+    }
+
+    #[test]
+    fn edge_list_skips_snap_headers_and_inline_comments() {
+        let text = "\
+# Directed graph (each unordered pair of nodes is saved once)
+# Nodes: 3 Edges: 2
+% percent comments too
+0 1   # trailing comment
+1 2
+";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.nodes(), 3);
+        assert_eq!(g.edges(), 2);
+        assert!(!g.is_weighted());
     }
 
     #[test]
@@ -258,6 +770,174 @@ a 3 2 2
     fn edge_list_reports_line_numbers() {
         let err = read_edge_list("0 1\nbogus line\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn edge_list_rejects_overflowing_ids() {
+        let text = format!("0 {}\n", u64::from(u32::MAX));
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("u32 range"), "{err}");
+        let err = read_edge_list("0 99999999999999999999\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("missing target id"), "{err}");
+    }
+
+    #[test]
+    fn edge_list_rejects_non_utf8_bytes() {
+        let bytes: &[u8] = &[b'0', b' ', b'1', b'\n', 0xff, 0xfe, b'\n'];
+        let err = read_edge_list(bytes).unwrap_err();
+        assert!(matches!(err, ParseError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn edge_list_roundtrip_weighted_and_not() {
+        for g in [
+            read_edge_list("0 1 5\n1 2 3\n2 0 1\n".as_bytes()).unwrap(),
+            read_edge_list("0 3\n3 0\n1 2\n".as_bytes()).unwrap(),
+        ] {
+            let mut buf = Vec::new();
+            write_edge_list(&g, &mut buf).unwrap();
+            let back = read_edge_list(buf.as_slice()).unwrap();
+            assert_eq!(g, back);
+        }
+    }
+
+    #[test]
+    fn matrix_market_reads_general_and_symmetric() {
+        let general = "\
+%%MatrixMarket matrix coordinate integer general
+% a comment
+3 3 2
+1 2 5
+3 1 7
+";
+        let g = read_matrix_market(general.as_bytes()).unwrap();
+        assert_eq!(g.nodes(), 3);
+        assert_eq!(g.edges(), 2);
+        assert!(g.is_weighted());
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.edge_weight(0), 5);
+
+        let symmetric = "\
+%%MatrixMarket matrix coordinate pattern symmetric
+3 3 2
+2 1
+3 3
+";
+        let g = read_matrix_market(symmetric.as_bytes()).unwrap();
+        assert_eq!(g.edges(), 3, "off-diagonal doubled, diagonal not");
+        assert!(!g.is_weighted());
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(2), &[2]);
+    }
+
+    #[test]
+    fn matrix_market_roundtrip() {
+        let g = read_matrix_market(
+            "%%MatrixMarket matrix coordinate integer general\n3 3 3\n1 2 5\n2 3 2\n3 1 9\n"
+                .as_bytes(),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&g, &mut buf).unwrap();
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn matrix_market_rejects_malformed_input() {
+        let err = read_matrix_market("not a banner\n1 1 0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("banner"), "{err}");
+
+        let err = read_matrix_market(
+            "%%MatrixMarket matrix coordinate integer general\n2 2 1\n".as_bytes(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("declares 1"), "{err}");
+
+        let err = read_matrix_market(
+            "%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 2 5\n2 1 4\n".as_bytes(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("more than the declared"), "{err}");
+
+        // Zero-node header with an entry: out of range, not a panic.
+        let err = read_matrix_market(
+            "%%MatrixMarket matrix coordinate pattern general\n0 0 1\n1 1\n".as_bytes(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn matrix_market_zero_size_is_empty_graph() {
+        let g = read_matrix_market(
+            "%%MatrixMarket matrix coordinate pattern general\n0 0 0\n".as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(g.nodes(), 0);
+        assert_eq!(g.edges(), 0);
+    }
+
+    #[test]
+    fn graph500_roundtrip_and_truncation() {
+        let g = read_edge_list("0 2\n2 1\n1 0\n".as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_graph500(&g, &mut buf).unwrap();
+        assert_eq!(buf.len(), 3 * 16);
+        let back = read_graph500(buf.as_slice()).unwrap();
+        assert_eq!(g, back);
+
+        let err = read_graph500(&buf[..buf.len() - 5]).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn graph500_rejects_wide_ids() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_graph500(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("u32 range"), "{err}");
+    }
+
+    #[test]
+    fn source_labels_parse_and_detect() {
+        for s in GraphSource::ALL {
+            assert_eq!(GraphSource::parse(s.label()), Some(s));
+        }
+        assert_eq!(GraphSource::parse("mtx"), Some(GraphSource::MatrixMarket));
+        assert_eq!(GraphSource::parse("nope"), None);
+        assert_eq!(
+            GraphSource::detect(Path::new("a/b/wiki.mtx")),
+            GraphSource::MatrixMarket
+        );
+        assert_eq!(
+            GraphSource::detect(Path::new("edges.g500")),
+            GraphSource::Graph500
+        );
+        assert_eq!(
+            GraphSource::detect(Path::new("USA-road-d.NY.gr")),
+            GraphSource::Dimacs
+        );
+        assert_eq!(
+            GraphSource::detect(Path::new("graph.mcsr")),
+            GraphSource::Image
+        );
+        assert_eq!(
+            GraphSource::detect(Path::new("plain.txt")),
+            GraphSource::EdgeList
+        );
+        assert_eq!(
+            GraphSource::detect(Path::new("no_extension")),
+            GraphSource::EdgeList
+        );
+    }
+
+    #[test]
+    fn stream_edges_refuses_image_source() {
+        let err = stream_edges(GraphSource::Image, &[][..], |_, _, _| Ok(())).unwrap_err();
+        assert!(matches!(err, ParseError::Image { .. }), "{err}");
     }
 
     #[test]

@@ -13,6 +13,13 @@
 //!   random graphs, RMAT/Kronecker scale-free graphs (Graph500), power-law
 //!   graphs (wiki), and bipartite rating graphs (amazon),
 //! * [`inputs`] — named, scaled-down analogues of the seven Table 1 inputs,
+//! * [`io`] — external graph formats (edge list, Matrix Market, Graph500
+//!   binary tuples, DIMACS) unified behind [`io::GraphSource`],
+//! * [`ingest`] — bounded-memory streaming CSR construction over those
+//!   formats (external sort; scale-20+ inputs build without materializing
+//!   the edge list),
+//! * [`image`] — the `minnow-csr-image/v1` on-disk CSR format with
+//!   zero-copy mmap loading, plus the simulated-memory [`image::GraphImage`],
 //! * [`stats`] — degree distributions and double-sweep diameter estimation
 //!   (regenerates Table 1's columns),
 //! * [`dsu`] — a union-find used by reference implementations and tests.
@@ -36,9 +43,11 @@ pub mod csr;
 pub mod dsu;
 pub mod gen;
 pub mod image;
+pub mod ingest;
 pub mod inputs;
 pub mod io;
 pub mod layout;
+mod mmap;
 pub mod reorder;
 pub mod stats;
 

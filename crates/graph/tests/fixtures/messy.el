@@ -1,0 +1,8 @@
+# duplicates, self-loops, one-way edges
+0 1 9
+0 1 4
+1 1 3
+0 1 6
+2 0 5
+2 2 1
+1 2 8

@@ -1,0 +1,9 @@
+# Fixture graph U (5 nodes, 6 directed edges)
+# Nodes: 5 Edges: 6
+% alternate comment style
+3 4
+0 1   # inline comment
+4 0
+1 3
+2 3
+0 2

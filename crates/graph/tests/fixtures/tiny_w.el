@@ -1,0 +1,6 @@
+# Fixture graph W (weighted)
+2 3 2
+0 1 5
+3 1 9
+1 2 3
+2 0 7

@@ -1,0 +1,367 @@
+//! Ingestion conformance suite: golden tiny fixtures in `tests/fixtures/`
+//! rendered in every external format must ingest to **byte-identical** CSRs
+//! (offsets, edges, weights — compared both structurally and through the
+//! serialized image bytes), with the dedup/self-loop/symmetrization options
+//! behaving identically regardless of the source format. Malformed inputs
+//! must come back as structured `ParseError`s, never panics.
+
+use std::path::{Path, PathBuf};
+
+use minnow_graph::image::{load_image, write_image_to, LoadMode};
+use minnow_graph::ingest::{ingest_file_to_csr, ingest_to_csr, IngestOptions};
+use minnow_graph::io::{GraphSource, ParseError};
+use minnow_graph::Csr;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn image_bytes(g: &Csr) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_image_to(g, &mut buf).unwrap();
+    buf
+}
+
+/// Canonical in-memory reference for fixture graph U (5 nodes, 6 edges).
+fn reference_u() -> Csr {
+    let mut g = Csr::from_edges(
+        5,
+        &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 0)],
+        None,
+    );
+    g.sort_adjacency();
+    g
+}
+
+/// Canonical in-memory reference for fixture graph W (4 nodes, weighted).
+fn reference_w() -> Csr {
+    let mut g = Csr::from_edges(
+        4,
+        &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 1)],
+        Some(&[5, 3, 7, 2, 9]),
+    );
+    g.sort_adjacency();
+    g
+}
+
+#[test]
+fn unweighted_fixture_is_byte_identical_across_all_four_formats() {
+    let reference = reference_u();
+    let reference_bytes = image_bytes(&reference);
+    // DIMACS cannot express "no weights", so its rendering carries weight 1
+    // on every arc and the conformance contract strips them.
+    let renderings = [
+        ("tiny.el", false),
+        ("tiny.mtx", false),
+        ("tiny.g500", false),
+        ("tiny.gr", true),
+    ];
+    for (name, strip) in renderings {
+        let opts = IngestOptions {
+            strip_weights: strip,
+            ..IngestOptions::default()
+        };
+        let (g, report) = ingest_file_to_csr(&fixture(name), None, &opts)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(g, reference, "{name} diverges from the reference CSR");
+        assert_eq!(
+            image_bytes(&g),
+            reference_bytes,
+            "{name} serializes to different image bytes"
+        );
+        assert_eq!(report.edges_kept, 6, "{name}");
+        assert_eq!(report.nodes, 5, "{name}");
+        assert!(!report.weighted, "{name}");
+    }
+}
+
+#[test]
+fn weighted_fixture_is_byte_identical_across_text_formats() {
+    let reference = reference_w();
+    let reference_bytes = image_bytes(&reference);
+    for name in ["tiny_w.el", "tiny_w.mtx", "tiny_w.gr"] {
+        let (g, report) = ingest_file_to_csr(&fixture(name), None, &IngestOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(g, reference, "{name} diverges from the reference CSR");
+        assert_eq!(image_bytes(&g), reference_bytes, "{name}");
+        assert!(report.weighted, "{name}");
+        assert_eq!(report.edges_kept, 5, "{name}");
+    }
+}
+
+#[test]
+fn options_behave_identically_across_formats() {
+    // Render the messy fixture into the other formats via the plain readers
+    // (preserving file order), then check every option combination lands on
+    // the same CSR from every rendering.
+    let messy = minnow_graph::io::read_edge_list(
+        std::fs::read(fixture("messy.el")).unwrap().as_slice(),
+    )
+    .unwrap();
+    let mut as_mtx = Vec::new();
+    minnow_graph::io::write_matrix_market(&messy, &mut as_mtx).unwrap();
+    let mut as_gr = Vec::new();
+    minnow_graph::io::write_dimacs(&messy, &mut as_gr).unwrap();
+
+    let combos = [
+        IngestOptions::default(),
+        IngestOptions {
+            dedup: true,
+            ..IngestOptions::default()
+        },
+        IngestOptions {
+            drop_self_loops: true,
+            ..IngestOptions::default()
+        },
+        IngestOptions {
+            dedup: true,
+            drop_self_loops: true,
+            symmetrize: true,
+            ..IngestOptions::default()
+        },
+    ];
+    for opts in combos {
+        let (from_el, _) =
+            ingest_file_to_csr(&fixture("messy.el"), None, &opts).unwrap();
+        let (from_mtx, _) =
+            ingest_to_csr(GraphSource::MatrixMarket, as_mtx.as_slice(), &opts).unwrap();
+        let (from_gr, _) =
+            ingest_to_csr(GraphSource::Dimacs, as_gr.as_slice(), &opts).unwrap();
+        assert_eq!(from_el, from_mtx, "mtx rendering, opts {opts:?}");
+        assert_eq!(from_el, from_gr, "dimacs rendering, opts {opts:?}");
+        assert_eq!(image_bytes(&from_el), image_bytes(&from_mtx), "opts {opts:?}");
+    }
+}
+
+#[test]
+fn dedup_and_self_loop_options_are_observable() {
+    let path = fixture("messy.el");
+    let (plain, r0) = ingest_file_to_csr(&path, None, &IngestOptions::default()).unwrap();
+    assert_eq!(r0.edges_read, 7);
+    assert_eq!(plain.edges(), 7, "no options: everything kept");
+
+    let (deduped, r1) = ingest_file_to_csr(
+        &path,
+        None,
+        &IngestOptions {
+            dedup: true,
+            ..IngestOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(r1.edges_kept, 5, "three parallel 0->1 edges collapse to one");
+    let e = deduped.edge_range(0).start;
+    assert_eq!(
+        deduped.edge_weight(e),
+        4,
+        "dedup keeps the minimum weight among duplicates"
+    );
+
+    let (no_loops, r2) = ingest_file_to_csr(
+        &path,
+        None,
+        &IngestOptions {
+            drop_self_loops: true,
+            ..IngestOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(r2.edges_kept, 5, "1->1 and 2->2 dropped");
+    for v in 0..no_loops.nodes() as u32 {
+        assert!(!no_loops.neighbors(v).contains(&v));
+    }
+
+    let (sym, _) = ingest_file_to_csr(
+        &path,
+        None,
+        &IngestOptions {
+            symmetrize: true,
+            dedup: true,
+            drop_self_loops: true,
+            ..IngestOptions::default()
+        },
+    )
+    .unwrap();
+    for v in 0..sym.nodes() as u32 {
+        for &u in sym.neighbors(v) {
+            assert!(sym.neighbors(u).contains(&v), "missing reverse of {v}->{u}");
+        }
+    }
+}
+
+#[test]
+fn symmetric_mtx_matches_explicitly_symmetrized_edges() {
+    let (from_sym, _) = ingest_file_to_csr(
+        &fixture("tiny_sym.mtx"),
+        None,
+        &IngestOptions::default(),
+    )
+    .unwrap();
+    // Same undirected triangle (+ one self-loop) written one-directional,
+    // symmetrized at ingest. The self-loop has no reverse to add.
+    let text = "1 0\n2 0\n2 1\n2 2\n";
+    let (from_el, _) = ingest_to_csr(
+        GraphSource::EdgeList,
+        text.as_bytes(),
+        &IngestOptions {
+            symmetrize: true,
+            dedup: true,
+            ..IngestOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(from_sym, from_el);
+}
+
+#[test]
+fn every_rendering_roundtrips_through_the_image_format() {
+    let dir = std::env::temp_dir();
+    for (name, strip) in [("tiny.el", false), ("tiny_w.gr", false), ("tiny.g500", false), ("tiny.gr", true)] {
+        let opts = IngestOptions {
+            strip_weights: strip,
+            ..IngestOptions::default()
+        };
+        let (g, _) = ingest_file_to_csr(&fixture(name), None, &opts).unwrap();
+        let img = dir.join(format!(
+            "minnow-conformance-{}-{name}.mcsr",
+            std::process::id()
+        ));
+        minnow_graph::image::write_image(&g, &img).unwrap();
+        for mode in [LoadMode::Read, LoadMode::Auto] {
+            let back = load_image(&img, mode).unwrap();
+            assert_eq!(g, back, "{name} via {mode:?}");
+        }
+        #[cfg(unix)]
+        {
+            let back = load_image(&img, LoadMode::Mmap).unwrap();
+            assert_eq!(g, back, "{name} via mmap");
+        }
+        std::fs::remove_file(&img).unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-input hardening: errors, never panics.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn malformed_text_inputs_return_structured_errors() {
+    let cases: &[(GraphSource, &[u8], &str)] = &[
+        (GraphSource::EdgeList, b"0 1\n4294967295 2\n", "u32 range"),
+        (GraphSource::EdgeList, b"0\n", "missing target"),
+        (GraphSource::EdgeList, b"0 1\nx y\n", "line 2"),
+        (
+            GraphSource::MatrixMarket,
+            b"%%MatrixMarket matrix coordinate pattern general\n0 0 1\n1 1\n",
+            "out of range",
+        ),
+        (
+            GraphSource::MatrixMarket,
+            b"%%MatrixMarket matrix coordinate integer general\n2 2 5\n1 2 3\n",
+            "declares 5",
+        ),
+        (GraphSource::Dimacs, b"p sp 2 1\na 9 1 1\n", "out of range"),
+        (GraphSource::Dimacs, b"a 1 2 3\n", "before problem line"),
+        (GraphSource::Graph500, b"\x01\x02\x03", "truncated"),
+    ];
+    for (source, bytes, want) in cases {
+        let err = ingest_to_csr(*source, *bytes, &IngestOptions::default())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(
+            err.to_string().contains(want),
+            "{source:?}: expected `{want}` in `{err}`"
+        );
+    }
+}
+
+#[test]
+fn non_utf8_bytes_are_io_errors_in_every_text_format() {
+    let junk: &[u8] = &[0x80, 0xfe, 0xff, b'\n', b'0', b' ', b'1', b'\n'];
+    for source in [GraphSource::EdgeList, GraphSource::Dimacs, GraphSource::MatrixMarket] {
+        let err = ingest_to_csr(source, junk, &IngestOptions::default())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(
+            matches!(err, ParseError::Io(_) | ParseError::Format { .. }),
+            "{source:?}: {err}"
+        );
+    }
+}
+
+#[test]
+fn corrupted_image_checksum_is_refused_on_every_load_path() {
+    let g = reference_w();
+    let path = std::env::temp_dir().join(format!(
+        "minnow-conformance-corrupt-{}.mcsr",
+        std::process::id()
+    ));
+    minnow_graph::image::write_image(&g, &path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Flip one bit inside the col section.
+    let idx = 64 + (g.nodes() + 1) * 8 + 2;
+    bytes[idx] ^= 1;
+    std::fs::write(&path, &bytes).unwrap();
+    let modes: &[LoadMode] = if cfg!(unix) {
+        &[LoadMode::Read, LoadMode::Auto, LoadMode::Mmap]
+    } else {
+        &[LoadMode::Read, LoadMode::Auto]
+    };
+    for &mode in modes {
+        let err = load_image(&path, mode).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{mode:?}: {err}");
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn garbage_image_headers_are_refused_with_clear_messages() {
+    let dir = std::env::temp_dir();
+    let write = |tag: &str, bytes: &[u8]| {
+        let p = dir.join(format!(
+            "minnow-conformance-hdr-{}-{tag}.mcsr",
+            std::process::id()
+        ));
+        std::fs::write(&p, bytes).unwrap();
+        p
+    };
+    let g = reference_u();
+    let mut good = Vec::new();
+    write_image_to(&g, &mut good).unwrap();
+
+    // Wrong endian marker.
+    let mut bad = good.clone();
+    bad[8..10].copy_from_slice(&[0x01, 0x02]);
+    let p = write("endian", &bad);
+    let err = load_image(&p, LoadMode::Auto).unwrap_err();
+    assert!(err.to_string().contains("big-endian"), "{err}");
+    std::fs::remove_file(&p).unwrap();
+
+    // Future version.
+    let mut bad = good.clone();
+    bad[10..12].copy_from_slice(&7u16.to_le_bytes());
+    let p = write("version", &bad);
+    let err = load_image(&p, LoadMode::Auto).unwrap_err();
+    assert!(err.to_string().contains("version 7"), "{err}");
+    std::fs::remove_file(&p).unwrap();
+
+    // Header claims more nodes than the file holds.
+    let mut bad = good.clone();
+    bad[16..24].copy_from_slice(&(1u64 << 40).to_le_bytes());
+    let p = write("overclaim", &bad);
+    let err = load_image(&p, LoadMode::Auto).unwrap_err();
+    assert!(
+        err.to_string().contains("truncated or corrupt"),
+        "{err}"
+    );
+    std::fs::remove_file(&p).unwrap();
+
+    // Not an image at all.
+    let p = write("noise", b"this is not an image");
+    let err = load_image(&p, LoadMode::Auto).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("header") || msg.contains("magic"), "{msg}");
+    std::fs::remove_file(&p).unwrap();
+}

@@ -21,7 +21,10 @@
 use std::process::ExitCode;
 
 use minnow_bench::cli::{write_with_parents, ArgStream};
-use minnow_bench::sweep::{run_sweep, Sweep, SweepConfig, SweepParams};
+use minnow_bench::runner::InputSpec;
+use minnow_bench::sweep::{run_sweep, IngestStats, Sweep, SweepConfig, SweepParams};
+use minnow_graph::image::LoadMode;
+use minnow_graph::io::GraphSource;
 
 #[derive(Debug)]
 struct Args {
@@ -35,6 +38,9 @@ struct Args {
     scale: Option<f64>,
     seed: Option<u64>,
     stdout: bool,
+    input: Option<String>,
+    input_format: Option<String>,
+    input_mode: Option<String>,
     trace_out: Option<String>,
     bench_out: Option<String>,
     bench_baseline: Option<String>,
@@ -61,6 +67,17 @@ options:
   --seed N        sweep seed; point seeds are derived from it
                   (default: MINNOW_BENCH_SEED or 42)
   --stdout        print the JSON-lines records instead of writing files
+  --input PATH    run every point on this external graph instead of the
+                  generated inputs (edge list, Matrix Market, Graph500
+                  binary, DIMACS, or a minnow-csr-image file; format
+                  detected from the extension). Per-point JSONL records
+                  are unchanged: the same graph via text, image, or mmap
+                  yields byte-identical artifacts
+  --input-format F
+                  override format detection: edge-list | matrix-market |
+                  graph500 | dimacs | image (aliases: el, tsv, mtx, g500,
+                  bin, gr, mcsr)
+  --input-mode M  how to load an image input: auto (default) | mmap | read
   --dry-run       print the selected points (id, workload, scheduler,
                   threads, scale, seed) without simulating anything
   --trace-out F   capture structured traces and write a Chrome
@@ -92,6 +109,9 @@ fn parse_args() -> Result<Args, String> {
         scale: None,
         seed: None,
         stdout: false,
+        input: None,
+        input_format: None,
+        input_mode: None,
         trace_out: None,
         bench_out: None,
         bench_baseline: None,
@@ -111,6 +131,9 @@ fn parse_args() -> Result<Args, String> {
             "--scale" => args.scale = Some(argv.parse("--scale")?),
             "--seed" => args.seed = Some(argv.parse("--seed")?),
             "--stdout" => args.stdout = true,
+            "--input" => args.input = Some(argv.value("--input")?),
+            "--input-format" => args.input_format = Some(argv.value("--input-format")?),
+            "--input-mode" => args.input_mode = Some(argv.value("--input-mode")?),
             "--trace-out" => args.trace_out = Some(argv.value("--trace-out")?),
             "--bench-out" => args.bench_out = Some(argv.value("--bench-out")?),
             "--bench-baseline" => args.bench_baseline = Some(argv.value("--bench-baseline")?),
@@ -171,6 +194,65 @@ fn main() -> ExitCode {
     cfg.filter = args.filter.clone();
     cfg.trace = args.trace_out.is_some();
 
+    // Pre-load any external input before fanning points out: a bad file
+    // fails fast with one clear message, the load is timed once for the
+    // bench document, and the process-wide cache is warm for every worker.
+    let mut ingest_stats = None;
+    if let Some(path) = &args.input {
+        let format = match args.input_format.as_deref() {
+            None => None,
+            Some(s) => match GraphSource::parse(s) {
+                Some(f) => Some(f),
+                None => {
+                    eprintln!("error: unknown --input-format `{s}`\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        let mode = match args.input_mode.as_deref() {
+            None => LoadMode::Auto,
+            Some(s) => match LoadMode::parse(s) {
+                Some(m) => m,
+                None => {
+                    eprintln!("error: unknown --input-mode `{s}`\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        let spec = InputSpec {
+            path: path.into(),
+            format,
+            mode,
+        };
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        let t0 = std::time::Instant::now();
+        match minnow_algos::suite::file_input(&spec.path, spec.format, spec.mode, false) {
+            Ok(g) => {
+                let wall = t0.elapsed();
+                eprintln!(
+                    "input {path}: {} nodes, {} edges ({} bytes, loaded in {:.1} ms)",
+                    g.nodes(),
+                    g.edges(),
+                    bytes,
+                    wall.as_secs_f64() * 1e3
+                );
+                ingest_stats = Some(IngestStats {
+                    path: path.clone(),
+                    mode: mode.label().into(),
+                    nodes: g.nodes() as u64,
+                    edges: g.edges() as u64,
+                    bytes,
+                    wall_us: wall.as_micros() as u64,
+                });
+            }
+            Err(e) => {
+                eprintln!("error: input {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        cfg.input = Some(spec);
+    }
+
     let selected = sweep.selected(&cfg);
     if selected.is_empty() {
         eprintln!(
@@ -222,7 +304,8 @@ fn main() -> ExitCode {
         params.seed
     );
 
-    let result = run_sweep(&sweep, &cfg);
+    let mut result = run_sweep(&sweep, &cfg);
+    result.ingest = ingest_stats;
     let timed_out = result.points.iter().filter(|p| p.report.timed_out).count();
 
     if let Some(path) = &args.trace_out {

@@ -322,6 +322,76 @@ fn point_threads_never_change_bsp_and_hw_reports() {
     }
 }
 
+/// Ingested inputs honor the same determinism contract: sweeping a
+/// graph loaded from a text edge list, from its `minnow-csr-image/v1`
+/// rendering via buffered reads, and from the same image via mmap must
+/// produce byte-identical artifacts — the input path is an execution
+/// detail, never part of the simulated result.
+#[test]
+fn ingested_inputs_are_byte_identical_across_text_image_and_mmap_paths() {
+    use minnow::bench::runner::InputSpec;
+    use minnow::graph::image::LoadMode;
+    use minnow::graph::ingest::{ingest_file_to_image, IngestOptions};
+
+    let dir = std::env::temp_dir().join(format!("minnow-sweep-ingest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // A bidirectional 48-node ring in canonical (src, dst) order, so the
+    // external-sort image and the in-file-order text load agree exactly.
+    let text_path = dir.join("ring.el");
+    let mut text = String::new();
+    for u in 0..48u32 {
+        let prev = (u + 47) % 48;
+        let next = (u + 1) % 48;
+        text.push_str(&format!("{u} {}\n{u} {}\n", prev.min(next), prev.max(next)));
+    }
+    std::fs::write(&text_path, text).unwrap();
+    let image_path = dir.join("ring.mcsr");
+    ingest_file_to_image(&text_path, None, &image_path, &IngestOptions::default()).unwrap();
+
+    let sweep = Sweep::smoke(&tiny_params());
+    let spec = |path: &std::path::Path, mode: LoadMode| {
+        let mut s = InputSpec::new(path);
+        s.mode = mode;
+        s
+    };
+    let from_text = run_sweep(
+        &sweep,
+        &SweepConfig::serial().with_input(spec(&text_path, LoadMode::Auto)),
+    );
+    let from_image = run_sweep(
+        &sweep,
+        &SweepConfig::serial().with_input(spec(&image_path, LoadMode::Read)),
+    );
+    assert_eq!(
+        from_text.jsonl(),
+        from_image.jsonl(),
+        "image ingestion must not perturb the artifact"
+    );
+    assert_eq!(from_text.breakdown_jsonl(), from_image.breakdown_jsonl());
+    #[cfg(unix)]
+    {
+        let mapped = run_sweep(
+            &sweep,
+            &SweepConfig::serial().with_input(spec(&image_path, LoadMode::Mmap)),
+        );
+        assert_eq!(
+            from_text.jsonl(),
+            mapped.jsonl(),
+            "mmap loading must not perturb the artifact"
+        );
+        assert_eq!(from_text.breakdown_jsonl(), mapped.breakdown_jsonl());
+    }
+    // The pool-width invariance contract holds for external inputs too.
+    let pooled = run_sweep(
+        &sweep,
+        &SweepConfig::serial()
+            .with_threads(4)
+            .with_input(spec(&image_path, LoadMode::Auto)),
+    );
+    assert_eq!(from_text.jsonl(), pooled.jsonl());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn parallel_pool_speeds_up_the_sweep() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
