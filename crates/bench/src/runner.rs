@@ -129,6 +129,10 @@ pub struct BenchRun {
     pub weave_epoch: Option<u64>,
     /// Override the bound-weave in-flight fetch cap; outcome-neutral.
     pub weave_inflight: Option<usize>,
+    /// Skip the adaptive serial fallback: always shard when
+    /// `point_threads >= 2` (see
+    /// `minnow_runtime::sim_exec::ExecConfig::pin_point_threads`).
+    pub pin_point_threads: bool,
 }
 
 impl BenchRun {
@@ -151,6 +155,7 @@ impl BenchRun {
             point_threads: 1,
             weave_epoch: None,
             weave_inflight: None,
+            pin_point_threads: false,
         }
     }
 
@@ -194,6 +199,7 @@ impl BenchRun {
             let _ = cfg.sim.l2.sets();
         }
         cfg.point_threads = self.point_threads.max(1);
+        cfg.pin_point_threads = self.pin_point_threads;
         if let Some(epoch) = self.weave_epoch {
             cfg.weave_epoch = epoch;
         }
@@ -325,6 +331,7 @@ impl BenchRun {
                 bsp.core_mode = self.core_mode;
                 bsp.tracer = tracer.clone();
                 bsp.point_threads = self.point_threads.max(1);
+                bsp.pin_point_threads = self.pin_point_threads;
                 if let Some(cap) = self.weave_inflight {
                     bsp.weave_inflight = cap;
                 }

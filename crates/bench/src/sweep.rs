@@ -325,6 +325,11 @@ pub struct SweepConfig {
     /// JSONL records, so sweeps over the *same graph* delivered through
     /// different paths (text file, image, mmap) stay byte-identical.
     pub input: Option<InputSpec>,
+    /// Skip the adaptive serial fallback: every point with
+    /// `point_threads >= 2` runs the sharded weave even when the workload
+    /// is tiny or the host is narrow. Determinism suites and CI set this
+    /// so byte-identity checks actually exercise the sharded path.
+    pub pin_point_threads: bool,
 }
 
 impl SweepConfig {
@@ -336,6 +341,7 @@ impl SweepConfig {
             trace: false,
             point_threads: 1,
             input: None,
+            pin_point_threads: false,
         }
     }
 
@@ -348,12 +354,20 @@ impl SweepConfig {
             trace: false,
             point_threads: 1,
             input: None,
+            pin_point_threads: false,
         }
     }
 
     /// Same configuration with a different per-point thread count.
     pub fn with_point_threads(mut self, point_threads: usize) -> Self {
         self.point_threads = point_threads;
+        self
+    }
+
+    /// Same configuration with the adaptive serial fallback disabled
+    /// (see [`SweepConfig::pin_point_threads`]).
+    pub fn with_pinned_point_threads(mut self) -> Self {
+        self.pin_point_threads = true;
         self
     }
 
@@ -528,6 +542,7 @@ pub fn run_sweep_observed(sweep: &Sweep, cfg: &SweepConfig, hooks: &SweepHooks) 
                     let point = selected[slot];
                     let mut run = point.run.clone();
                     run.point_threads = cfg.point_threads.max(1);
+                    run.pin_point_threads = cfg.pin_point_threads;
                     if cfg.input.is_some() {
                         run.input = cfg.input.clone();
                     }
@@ -726,6 +741,7 @@ impl SweepResult {
         let points = crate::json::array(self.points.iter().map(|p| {
             JsonObject::new()
                 .str("id", &p.id)
+                .u64("pt_used", p.report.point_threads_used as u64)
                 .u64("wall_us", p.wall.as_micros() as u64)
                 .u64("tasks", p.report.tasks)
                 .u64("mem_accesses", p.report.mem_accesses)

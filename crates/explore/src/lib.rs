@@ -61,6 +61,9 @@ pub struct ExploreConfig {
     pub pool_threads: usize,
     /// Bound-weave threads per simulation point.
     pub point_threads: usize,
+    /// Skip the sharded weave's adaptive serial fallback (see
+    /// `minnow_bench::sweep::SweepConfig::pin_point_threads`).
+    pub pin_point_threads: bool,
     /// Budget of *fresh* simulations this invocation may run; `None`
     /// is unbounded. Cached journal hits are always free. The budget
     /// selects a prefix of pending evaluations in enumeration order,
@@ -210,9 +213,10 @@ fn simulate(cfg: &ExploreConfig, configs: &[ConfigPoint], chunk: &[EvalKey]) -> 
         name: cfg.space.name.clone(),
         points,
     };
-    let sweep_cfg = SweepConfig::serial()
+    let mut sweep_cfg = SweepConfig::serial()
         .with_threads(cfg.pool_threads.max(1))
         .with_point_threads(cfg.point_threads.max(1));
+    sweep_cfg.pin_point_threads = cfg.pin_point_threads;
     let narrate = |p: &PointResult| {
         eprintln!(
             "[explore]   {} makespan {} tasks {} ({} ms)",
@@ -288,6 +292,7 @@ mod tests {
             seed: 42,
             pool_threads: 2,
             point_threads: 1,
+            pin_point_threads: false,
             max_fresh_evals: None,
             journal_path: path.clone(),
             verbose: false,
@@ -338,6 +343,7 @@ mod tests {
             seed: 42,
             pool_threads: 2,
             point_threads: 1,
+            pin_point_threads: false,
             max_fresh_evals: None,
             journal_path: path.clone(),
             verbose: false,
@@ -369,6 +375,7 @@ mod tests {
             seed: 42,
             pool_threads: 2,
             point_threads: 1,
+            pin_point_threads: false,
             max_fresh_evals: Some(1),
             journal_path: base.clone(),
             verbose: false,

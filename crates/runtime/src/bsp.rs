@@ -53,6 +53,10 @@ pub struct BspConfig {
     pub point_threads: usize,
     /// Flow-control cap on weave-inflight fetches (outcome-neutral).
     pub weave_inflight: usize,
+    /// Skip the adaptive serial fallback and always shard when
+    /// `point_threads >= 2` (see
+    /// [`crate::sim_exec::ExecConfig::pin_point_threads`]).
+    pub pin_point_threads: bool,
 }
 
 impl BspConfig {
@@ -68,6 +72,7 @@ impl BspConfig {
             tracer: Tracer::disabled(),
             point_threads: 1,
             weave_inflight: crate::sim_exec::DEFAULT_WEAVE_INFLIGHT,
+            pin_point_threads: false,
         }
     }
 
@@ -95,11 +100,17 @@ pub fn run_bsp(op: &mut dyn Operator, cfg: &BspConfig) -> RunReport {
     assert!(cfg.threads >= 1, "need at least one thread");
     let mut mem = MemoryHierarchy::new(&cfg.sim);
     mem.set_tracer(cfg.tracer.clone());
-    if cfg.point_threads > 1 {
+    let lanes = crate::sim_exec::plan_weave_lanes(
+        cfg.point_threads,
+        cfg.pin_point_threads,
+        op.graph().edges(),
+    );
+    let mut weave = false;
+    if lanes > 0 {
         // Bound-weave mode (refused under tracing — traced points stay on
         // the serial oracle path). Supersteps are the epochs here: every
         // barrier below drains the weave.
-        mem.enable_weave(cfg.weave_inflight.max(1));
+        weave = mem.enable_weave(cfg.weave_inflight.max(1), lanes);
     }
     let tracer = cfg.tracer.clone();
     let mut accounting = CycleAccounting::new(cfg.threads);
@@ -131,6 +142,7 @@ pub fn run_bsp(op: &mut dyn Operator, cfg: &BspConfig) -> RunReport {
         prefetch_fills: 0,
         prefetch_used: 0,
         supersteps: 0,
+        point_threads_used: if weave { lanes + 1 } else { 1 },
         accounting: CycleAccounting::new(0),
     };
     let mut now: Cycle = 0;

@@ -68,6 +68,12 @@ pub struct ExecConfig {
     /// Flow-control cap on fetches in flight on the weave before the front
     /// self-drains. Outcome-neutral, like `weave_epoch`.
     pub weave_inflight: usize,
+    /// Pin the weave decision to `point_threads`: skip the adaptive serial
+    /// fallback (workload too small, host too narrow) and always shard when
+    /// `point_threads >= 2`. Simulated outcomes are identical either way;
+    /// determinism tests and CI set this so the sharded path actually runs
+    /// on small inputs and 1-core hosts.
+    pub pin_point_threads: bool,
 }
 
 /// Default bound-weave epoch length (simulated cycles). Long enough that
@@ -77,6 +83,41 @@ pub const DEFAULT_WEAVE_EPOCH: Cycle = 100_000;
 
 /// Default flow-control cap on weave-inflight fetches.
 pub const DEFAULT_WEAVE_INFLIGHT: usize = 4096;
+
+/// Smallest workload (in graph edges) worth sharding. Below this the
+/// per-fetch ticket/channel overhead outweighs the overlap on any host, so
+/// the adaptive fallback runs the point serially. Calibrated on the smoke
+/// sweep (scale 0.03, ~20k edges — falls back) vs the fig16 bench sweep
+/// (scale 0.1, ~200k+ edges — shards).
+pub const MIN_WEAVE_EDGES: usize = 50_000;
+
+/// Plans how many weave lanes a point should use: `0` means run the serial
+/// inline path, `n >= 1` means front + `n` lane threads.
+///
+/// The adaptive serial fallback exists so `point_threads > 1` is never a
+/// wall-clock *regression*: tiny workloads and 1-core hosts gain nothing
+/// from sharding and would pay thread churn for it. `pinned` overrides the
+/// fallback (determinism suites must exercise the sharded path even where
+/// the heuristic would decline). The decision can only affect host wall
+/// clock — simulated outcomes are identical on every path.
+pub fn plan_weave_lanes(point_threads: usize, pinned: bool, edges: usize) -> usize {
+    if point_threads <= 1 {
+        return 0;
+    }
+    if pinned {
+        return point_threads - 1;
+    }
+    if edges < MIN_WEAVE_EDGES {
+        return 0;
+    }
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if host < 2 {
+        return 0;
+    }
+    (point_threads - 1).min(host - 1)
+}
 
 impl ExecConfig {
     /// A scaled machine with the given thread count and paper-default knobs.
@@ -92,6 +133,7 @@ impl ExecConfig {
             point_threads: 1,
             weave_epoch: DEFAULT_WEAVE_EPOCH,
             weave_inflight: DEFAULT_WEAVE_INFLIGHT,
+            pin_point_threads: false,
         }
     }
 
@@ -164,6 +206,11 @@ pub struct RunReport {
     pub prefetch_used: u64,
     /// Bulk-synchronous supersteps (0 for asynchronous executors).
     pub supersteps: u64,
+    /// Host threads that actually simulated this point: `1` when the run
+    /// took the serial path (requested, adaptive fallback, tracer, or an
+    /// unsupported mesh), `lanes + 1` when the sharded weave ran. Affects
+    /// wall clock only, never simulated outcomes.
+    pub point_threads_used: usize,
     /// Closed per-core cycle accounting: every cycle of every core up
     /// to the makespan lands in exactly one [`CycleBin`]. The
     /// [`Breakdown`] is derived from it (busy bins only); this field
@@ -251,10 +298,12 @@ pub fn run_with_prefetcher(
 
     sched.seed(op.initial_tasks());
 
-    // Bound-weave mode: move the shared fabric onto its weave thread.
-    // `enable_weave` refuses (returns false) under tracing, pinning traced
-    // points to the serial oracle path.
-    let weave = cfg.point_threads > 1 && mem.enable_weave(cfg.weave_inflight.max(1));
+    // Bound-weave mode: move the shared fabric onto the sharded weave
+    // lanes. `plan_weave_lanes` applies the adaptive serial fallback;
+    // `enable_weave` additionally refuses (returns false) under tracing,
+    // pinning traced points to the serial oracle path.
+    let lanes = plan_weave_lanes(cfg.point_threads, cfg.pin_point_threads, graph.edges());
+    let weave = lanes > 0 && mem.enable_weave(cfg.weave_inflight.max(1), lanes);
     let epoch_len = cfg.weave_epoch.max(1);
     let mut next_epoch = epoch_len;
 
@@ -287,6 +336,7 @@ pub fn run_with_prefetcher(
         prefetch_fills: 0,
         prefetch_used: 0,
         supersteps: 0,
+        point_threads_used: if weave { lanes + 1 } else { 1 },
         accounting: CycleAccounting::new(0),
     };
 

@@ -75,7 +75,7 @@ pub struct Lookup {
 }
 
 /// Aggregate cache statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Demand lookups that hit.
     pub hits: Counter,
@@ -119,7 +119,9 @@ impl CacheStats {
 /// their data. Fills are explicit so that the surrounding
 /// [hierarchy](crate::hierarchy) can decide inclusion/exclusion policy and
 /// so prefetchers can insert marked lines.
-#[derive(Debug, Clone)]
+/// `PartialEq` compares full packed state (tags, recency clocks, bitsets,
+/// stats) — the sharded weave's oracle tests rely on it for bit-identity.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cache {
     params: CacheParams,
     sets: usize,
@@ -424,7 +426,7 @@ impl Cache {
 }
 
 /// A plain `u64`-word bitset sized at construction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Bitset {
     words: Vec<u64>,
 }

@@ -177,7 +177,7 @@ enum Fabric {
     Inline(Box<SharedFabric>),
     /// Shared state lives on the weave thread; fetches are recorded as
     /// ordered events and resolved at barriers.
-    Threaded(WeaveClient),
+    Threaded(Box<WeaveClient>),
     /// Transient marker while the fabric moves between modes.
     Moving,
 }
@@ -268,18 +268,22 @@ impl MemoryHierarchy {
 
     // ---- bound-weave control ---------------------------------------------
 
-    /// Moves the shared fabric (L3/NoC/DRAM) onto a dedicated weave thread.
+    /// Moves the shared fabric (L3/NoC/DRAM) onto `lanes` dedicated weave
+    /// threads (the sharded ticket-scoreboard engine in [`crate::weave`];
+    /// `lanes == 1` is the degenerate single-thread weave).
     ///
     /// Returns `false` — leaving the serial inline path active — when a
     /// tracer is installed: trace capture observes shared-fetch internals
     /// in emission order, so traced points always run on the serial oracle
     /// path (their output is identical either way by the determinism
-    /// contract, so nothing is lost).
+    /// contract, so nothing is lost). Also refuses meshes wider than the
+    /// sharded engine's fixed-size route plans cover (anything past the
+    /// paper's 8x8 — never reached by the stock configs).
     ///
     /// `max_inflight` bounds outstanding fetches before the front
-    /// self-drains; it is pure flow control and never changes simulated
-    /// outcomes (`tests/props.rs` pins that).
-    pub fn enable_weave(&mut self, max_inflight: usize) -> bool {
+    /// self-drains; like `lanes` it is pure flow control and never changes
+    /// simulated outcomes (`tests/props.rs` pins that).
+    pub fn enable_weave(&mut self, max_inflight: usize, lanes: usize) -> bool {
         if self.tracer.is_enabled() {
             return false;
         }
@@ -289,7 +293,11 @@ impl MemoryHierarchy {
         let Fabric::Inline(fabric) = std::mem::replace(&mut self.fabric, Fabric::Moving) else {
             unreachable!("fabric present outside transitions");
         };
-        self.fabric = Fabric::Threaded(WeaveClient::spawn(*fabric, max_inflight));
+        if !fabric.supports_sharding() {
+            self.fabric = Fabric::Inline(fabric);
+            return false;
+        }
+        self.fabric = Fabric::Threaded(Box::new(WeaveClient::spawn(*fabric, max_inflight, lanes)));
         true
     }
 

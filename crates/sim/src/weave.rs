@@ -1,4 +1,5 @@
-//! Bound-weave split of the memory hierarchy's shared half.
+//! Bound-weave split of the memory hierarchy's shared half, with N-way
+//! sharded weave lanes.
 //!
 //! ZSim-style bound-weave simulation separates per-core ("bound") state from
 //! globally ordered shared ("weave") state. In this reproduction the split
@@ -7,43 +8,84 @@
 //! * **Bound-owned (front)**: private L1/L2 caches, the sharer directory,
 //!   prefetch credits and arrival table, per-core stats, schedulers and
 //!   worklists. These are advanced by the executor thread in exact serial
-//!   order.
+//!   order — the front is the single linearized producer, so the order it
+//!   emits fetch events in *is* the serial oracle's order.
 //! * **Weave-owned**: the shared L3 array, the mesh NoC link reservations
 //!   ([`crate::contend::GapTracker`] timelines), and the DRAM channel queues
-//!   — everything a shared fetch touches beyond the private caches. This
-//!   half is packaged as [`SharedFabric`] so it can be carried by a
-//!   dedicated weave thread.
+//!   — everything a shared fetch touches beyond the private caches.
 //!
-//! The contract that keeps outputs byte-identical to the serial oracle:
-//! the front emits fetch events in its (serial) execution order, each
-//! stamped with a monotonically increasing sequence number, and the weave
-//! consumes them strictly in that canonical `(timestamp, core, seq)` order
-//! — which, because the front is a single linearized producer, is exactly
-//! the order the serial simulator would have performed them. Disjoint state
-//! ownership plus identical operation order means identical final state and
-//! identical latencies; the only thing that changes is *when in host time*
-//! the shared-fabric work happens, which is what buys the overlap.
+//! # Sharded lanes: conservative PDES by per-resource tickets
+//!
+//! The weave half is serviced by N *lane* threads. Fetch `seq` is handed to
+//! lane `seq % N`, and each lane executes the whole fetch (request route,
+//! L3 probe/fill, DRAM access, response route). What keeps N concurrent
+//! lanes bit-identical to the serial oracle is a ticket scoreboard:
+//!
+//! * The dispatcher ([`WeaveClient::issue`], on the front thread) walks the
+//!   exact resource list a fetch will touch — the request-path links (pure
+//!   X-Y geometry), the L3, the DRAM channel (pure address hash), the
+//!   response-path links — and assigns each resource a dense per-resource
+//!   *ticket* in issue order. Issue order is serial order, so for every
+//!   individual resource the ticket order is exactly the serial order of
+//!   its operations.
+//! * Every shared resource lives in its own [`Turn`] cell (per-link, whole
+//!   L3, per-channel). A lane performs an operation only when the cell's
+//!   turn counter reaches its ticket, then passes the baton to the next
+//!   ticket. Each resource therefore sees its serial operation sequence,
+//!   with identical arguments — identical state evolution and identical
+//!   latencies — while operations on *different* resources overlap freely
+//!   across lanes.
+//! * Tickets are assigned *conservatively*: a fetch takes a DRAM-channel
+//!   ticket before knowing whether it will hit in L3. On a hit the lane
+//!   advances the channel's turn without touching it ([`Turn::skip`]), so
+//!   the channel's realized operation sequence is still exactly the serial
+//!   one (the misses, in order).
+//! * Deadlock-free by induction on `seq`: lanes service their queues in
+//!   ascending `seq`, and a fetch only ever waits on tickets assigned to
+//!   strictly earlier fetches, so the earliest unfinished fetch never
+//!   blocks.
+//!
+//! The one piece that cannot be updated in place by concurrent lanes is the
+//! order-dependent fabric statistics (the NoC/DRAM queueing
+//! [`crate::stats::Distribution`]s keep running `f64` sums, where addition
+//! order changes low bits). Lanes report per-fetch stat deltas in their
+//! replies; the client folds them at every drain barrier in ascending
+//! `seq` — the canonical order — so the final fabric state (including
+//! stats) is bit-identical to the serial oracle's.
 //!
 //! Replies flow back asynchronously and are folded in at *barriers*: the
 //! end of each task's charge (before the core model runs), whenever shared
 //! state must be read synchronously, and at fixed-length simulated-time
-//! epoch boundaries driven by the executor (see
-//! `minnow_runtime::sim_exec`).
+//! epoch boundaries driven by the executor (see `minnow_runtime::sim_exec`).
+//!
+//! A test-only hook, `MINNOW_SHARD_STALL_NS`, makes every lane sleep that
+//! many nanoseconds (scaled by lane index, to skew lanes against each
+//! other) before servicing each event. Schedule-fuzz tests use it to prove
+//! host-scheduling nondeterminism cannot reach simulated outcomes.
 
-use std::sync::mpsc;
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 
 use crate::cache::Cache;
+use crate::contend::GapTracker;
 use crate::cycles::Cycle;
-use crate::dram::Dram;
+use crate::dram::{channel_of, Dram, DramStats};
 use crate::hierarchy::CacheLevel;
-use crate::noc::Noc;
+use crate::noc::{Noc, NocGeom, NocStats, MAX_PATH_LINKS};
+
+/// Request packet size on the NoC (a line address + command).
+const REQ_BYTES: usize = 16;
+/// Response packet size on the NoC (one 64B line).
+const RESP_BYTES: usize = 64;
 
 /// The weave-owned half of the hierarchy: shared L3 + NoC + DRAM.
 ///
 /// All methods are pure functions of fabric state and their arguments, so
 /// processing the canonical event order on any thread reproduces the serial
 /// state evolution exactly.
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub(crate) struct SharedFabric {
     /// Shared banked L3.
     pub l3: Cache,
@@ -77,12 +119,13 @@ impl SharedFabric {
     ///
     /// This is the exact body of the serial `fetch_from_shared`, minus the
     /// front-owned parts (per-core miss counters, tracer emission) which
-    /// the hierarchy applies from the outcome.
+    /// the hierarchy applies from the outcome. The sharded lane path
+    /// ([`lane_fetch`]) mirrors this body operation for operation.
     pub fn fetch(&mut self, core: usize, bank: usize, line: u64, now: Cycle) -> FetchOutcome {
-        let req = self.noc.route(core, bank, 16, now);
+        let req = self.noc.route(core, bank, REQ_BYTES, now);
         let l3 = self.l3.access_line(line, false);
         if l3.hit {
-            let resp = self.noc.route(bank, core, 64, now + req + self.l3_latency);
+            let resp = self.noc.route(bank, core, RESP_BYTES, now + req + self.l3_latency);
             return FetchOutcome {
                 beyond: req + self.l3_latency + resp,
                 level: CacheLevel::L3,
@@ -94,7 +137,7 @@ impl SharedFabric {
         self.l3.fill_line(line, false, false);
         let resp = self
             .noc
-            .route(bank, core, 64, now + req + self.l3_latency + mem);
+            .route(bank, core, RESP_BYTES, now + req + self.l3_latency + mem);
         FetchOutcome {
             beyond: req + self.l3_latency + mem + resp,
             level: CacheLevel::Memory,
@@ -102,16 +145,124 @@ impl SharedFabric {
             noc_hops: self.noc.total_hops(),
         }
     }
+
+    /// Whether the sharded weave's fixed-size route plans cover this mesh
+    /// (see [`MAX_PATH_LINKS`]).
+    pub fn supports_sharding(&self) -> bool {
+        2 * (self.noc.width().saturating_sub(1)) <= MAX_PATH_LINKS
+    }
 }
 
-/// One fetch event in the canonical weave order.
+/// A shared resource guarded by a ticket turn counter.
+///
+/// The dispatcher hands out each ticket value for a cell exactly once, in
+/// canonical (serial) order; [`Turn::run`] admits only the holder of the
+/// current ticket and then passes the baton. Consecutive holders are
+/// ordered by the release/acquire pair on `turn`, which is what makes the
+/// unsynchronized `&mut` access to `cell` sound.
+struct Turn<T> {
+    turn: AtomicU64,
+    cell: UnsafeCell<T>,
+}
+
+// SAFETY: access to `cell` is mutually exclusive and happens-before ordered
+// by the ticket protocol in `run`/`skip` (see the type docs).
+unsafe impl<T: Send> Sync for Turn<T> {}
+
+impl<T> Turn<T> {
+    fn new(value: T) -> Self {
+        Turn {
+            turn: AtomicU64::new(0),
+            cell: UnsafeCell::new(value),
+        }
+    }
+
+    fn wait(&self, ticket: u64) {
+        let mut spins: u32 = 0;
+        while self.turn.load(Ordering::Acquire) != ticket {
+            spins = spins.wrapping_add(1);
+            if spins & 31 == 0 {
+                // Oversubscribed hosts (or a 1-core container) must make
+                // progress: the ticket holder may not even be scheduled.
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Runs `f` on the resource when `ticket` comes up, then passes the
+    /// baton to `ticket + 1`.
+    fn run<R>(&self, ticket: u64, f: impl FnOnce(&mut T) -> R) -> R {
+        self.wait(ticket);
+        // SAFETY: `wait` admitted the unique holder of the current ticket;
+        // the release store below pairs with the next holder's acquire
+        // load, so accesses are exclusive and ordered.
+        let r = f(unsafe { &mut *self.cell.get() });
+        self.turn.store(ticket + 1, Ordering::Release);
+        r
+    }
+
+    /// Advances the turn without touching the resource — for fetches that
+    /// were conservatively ticketed on a resource they dynamically skip
+    /// (a DRAM channel on an L3 hit).
+    fn skip(&self, ticket: u64) {
+        self.wait(ticket);
+        self.turn.store(ticket + 1, Ordering::Release);
+    }
+
+    fn into_inner(self) -> T {
+        self.cell.into_inner()
+    }
+}
+
+impl<T> fmt::Debug for Turn<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Turn({})", self.turn.load(Ordering::Relaxed))
+    }
+}
+
+/// The links of one X-Y route with their pre-assigned tickets, in
+/// traversal order. Fixed-size so events stay allocation-free.
 #[derive(Debug, Clone, Copy)]
-struct FetchEvent {
+struct RoutePlan {
+    len: u8,
+    links: [u16; MAX_PATH_LINKS],
+    tickets: [u64; MAX_PATH_LINKS],
+}
+
+impl RoutePlan {
+    fn empty() -> Self {
+        RoutePlan {
+            len: 0,
+            links: [0; MAX_PATH_LINKS],
+            tickets: [0; MAX_PATH_LINKS],
+        }
+    }
+}
+
+/// One fetch event dispatched to a lane, carrying every ticket it needs.
+#[derive(Debug, Clone, Copy)]
+struct LaneEvent {
     seq: u64,
     core: u32,
-    bank: u32,
     line: u64,
     now: Cycle,
+    l3_ticket: u64,
+    dram_ticket: u64,
+    req: RoutePlan,
+    resp: RoutePlan,
+}
+
+/// Per-fetch statistic deltas a lane reports back for deferred, in-order
+/// folding at drain barriers.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ReplyStats {
+    req_queued: Cycle,
+    resp_queued: Cycle,
+    dram_queued: Cycle,
+    req_hops: u64,
+    resp_hops: u64,
 }
 
 /// A serviced fetch flowing back to the front.
@@ -125,78 +276,264 @@ pub(crate) struct FetchReply {
     pub beyond: Cycle,
     /// Servicing level (`L3` or `Memory`).
     pub level: CacheLevel,
+    /// Deferred fabric-stat deltas (folded by the client at drains).
+    stats: ReplyStats,
 }
 
-/// Front-side handle to the weave thread: issues fetch events, tracks how
-/// many are outstanding, and drains replies at barriers.
+/// The resources and immutable parameters every lane shares.
+#[derive(Debug)]
+struct LaneShared {
+    geom: NocGeom,
+    links: Vec<Turn<GapTracker>>,
+    l3: Turn<Cache>,
+    channels: Vec<Turn<GapTracker>>,
+    l3_latency: Cycle,
+    dram_base: Cycle,
+    dram_service: Cycle,
+    /// Test-only fault injection (`MINNOW_SHARD_STALL_NS`): base
+    /// nanoseconds each lane sleeps before servicing an event, scaled by
+    /// lane index + 1 so lanes skew apart.
+    stall_ns: u64,
+}
+
+/// Walks one route's links under their tickets; returns
+/// `(latency, queued, hops)` exactly as [`Noc::route`] computes them.
+fn run_route(
+    links: &[Turn<GapTracker>],
+    plan: &RoutePlan,
+    hop_cycles: Cycle,
+    occupancy: Cycle,
+    now: Cycle,
+) -> (Cycle, Cycle, u64) {
+    let mut at = now;
+    let mut queued: Cycle = 0;
+    for i in 0..plan.len as usize {
+        let start = links[plan.links[i] as usize]
+            .run(plan.tickets[i], |g| g.reserve(at, occupancy));
+        queued += start - at;
+        at = start + hop_cycles;
+    }
+    let mut hops = plan.len as u64;
+    if hops == 0 {
+        at += hop_cycles;
+        hops = 1;
+    }
+    (at - now, queued, hops)
+}
+
+/// Executes one fetch on a lane: the exact operation sequence of
+/// [`SharedFabric::fetch`], with every shared-resource touch gated by its
+/// pre-assigned ticket.
+///
+/// The only reordering relative to the serial body is that the L3 fill on
+/// a miss happens inside the same L3 turn as the probe, *before* the DRAM
+/// reservation instead of after it. Both orders are state-identical: in
+/// the serial oracle no other L3 operation can intervene between a fetch's
+/// probe and its fill, the fill does not depend on the DRAM latency, and
+/// the DRAM reservation time does not depend on the fill.
+fn lane_fetch(sh: &LaneShared, ev: &LaneEvent) -> FetchReply {
+    let now = ev.now;
+    let (req, req_queued, req_hops) = run_route(
+        &sh.links,
+        &ev.req,
+        sh.geom.hop_cycles,
+        sh.geom.occupancy(REQ_BYTES),
+        now,
+    );
+    let hit = sh.l3.run(ev.l3_ticket, |l3| {
+        let probe = l3.access_line(ev.line, false);
+        if !probe.hit {
+            l3.fill_line(ev.line, false, false);
+        }
+        probe.hit
+    });
+    let ch = channel_of(ev.line, sh.channels.len());
+    let (mem, dram_queued, level) = if hit {
+        sh.channels[ch].skip(ev.dram_ticket);
+        (0, 0, CacheLevel::L3)
+    } else {
+        let at = now + req + sh.l3_latency;
+        let start = sh.channels[ch].run(ev.dram_ticket, |g| g.reserve(at, sh.dram_service));
+        let queued = start - at;
+        (sh.dram_base + queued, queued, CacheLevel::Memory)
+    };
+    let (resp, resp_queued, resp_hops) = run_route(
+        &sh.links,
+        &ev.resp,
+        sh.geom.hop_cycles,
+        sh.geom.occupancy(RESP_BYTES),
+        now + req + sh.l3_latency + mem,
+    );
+    FetchReply {
+        seq: ev.seq,
+        core: ev.core,
+        beyond: req + sh.l3_latency + mem + resp,
+        level,
+        stats: ReplyStats {
+            req_queued,
+            resp_queued,
+            dram_queued,
+            req_hops,
+            resp_hops,
+        },
+    }
+}
+
+/// Plans one route: records its link indices and dispenses their tickets
+/// in traversal order.
+fn plan_route(
+    geom: &NocGeom,
+    next_link: &mut [u64],
+    src: usize,
+    dst: usize,
+    out: &mut RoutePlan,
+) {
+    let mut n = 0usize;
+    geom.for_each_link(src, dst, |idx| {
+        debug_assert!(n < MAX_PATH_LINKS, "route longer than MAX_PATH_LINKS");
+        out.links[n] = idx as u16;
+        out.tickets[n] = next_link[idx];
+        next_link[idx] += 1;
+        n += 1;
+    });
+    out.len = n as u8;
+}
+
+/// Front-side handle to the weave lanes: issues fetch events (dispensing
+/// tickets in canonical order), tracks how many are outstanding, drains
+/// replies at barriers, and folds deferred fabric stats in `seq` order.
 #[derive(Debug)]
 pub(crate) struct WeaveClient {
-    tx: mpsc::Sender<FetchEvent>,
+    lane_txs: Vec<mpsc::Sender<LaneEvent>>,
     rx: mpsc::Receiver<FetchReply>,
-    handle: Option<std::thread::JoinHandle<SharedFabric>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    shared: Arc<LaneShared>,
     outstanding: usize,
     next_seq: u64,
     max_inflight: usize,
     /// Reusable drain buffer (steady-state drains allocate nothing).
     drained: Vec<FetchReply>,
+    /// Ticket dispensers, front-owned: next ticket per NoC link, for the
+    /// L3, and per DRAM channel.
+    next_link: Vec<u64>,
+    next_l3: u64,
+    next_chan: Vec<u64>,
+    /// Deferred order-dependent fabric stats, folded at drains in `seq`
+    /// order and reinstalled into the fabric at `finish`.
+    noc_stats: NocStats,
+    dram_stats: DramStats,
 }
 
 impl WeaveClient {
-    /// Moves `fabric` onto a fresh weave thread. `max_inflight` bounds how
-    /// many fetches may be outstanding before the front must drain (flow
-    /// control only — the value never affects simulated outcomes).
-    pub fn spawn(fabric: SharedFabric, max_inflight: usize) -> Self {
-        let (tx, req_rx) = mpsc::channel::<FetchEvent>();
+    /// Shards `fabric` across `lanes` weave threads. `max_inflight` bounds
+    /// how many fetches may be outstanding before the front must drain
+    /// (flow control only — the value never affects simulated outcomes,
+    /// and neither does `lanes`).
+    pub fn spawn(fabric: SharedFabric, max_inflight: usize, lanes: usize) -> Self {
+        assert!(
+            fabric.supports_sharding(),
+            "mesh too wide for the sharded weave (checked by enable_weave)"
+        );
+        let lanes = lanes.max(1);
+        let SharedFabric {
+            l3,
+            noc,
+            dram,
+            l3_latency,
+        } = fabric;
+        let (geom, links, noc_stats) = noc.split();
+        let (dram_base, dram_service, channels, dram_stats) = dram.split();
+        let n_links = links.len();
+        let n_chan = channels.len();
+        let stall_ns = std::env::var("MINNOW_SHARD_STALL_NS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let shared = Arc::new(LaneShared {
+            geom,
+            links: links.into_iter().map(Turn::new).collect(),
+            l3: Turn::new(l3),
+            channels: channels.into_iter().map(Turn::new).collect(),
+            l3_latency,
+            dram_base,
+            dram_service,
+            stall_ns,
+        });
         let (reply_tx, rx) = mpsc::channel::<FetchReply>();
-        let handle = std::thread::Builder::new()
-            .name("minnow-weave".into())
-            .spawn(move || {
-                let mut fabric = fabric;
-                // Strict FIFO: events are replayed in emission (= canonical
-                // serial) order, so fabric state evolves exactly as in the
-                // serial oracle.
-                while let Ok(ev) = req_rx.recv() {
-                    let out = fabric.fetch(ev.core as usize, ev.bank as usize, ev.line, ev.now);
-                    if reply_tx
-                        .send(FetchReply {
-                            seq: ev.seq,
-                            core: ev.core,
-                            beyond: out.beyond,
-                            level: out.level,
-                        })
-                        .is_err()
-                    {
-                        break;
+        let mut lane_txs = Vec::with_capacity(lanes);
+        let mut handles = Vec::with_capacity(lanes);
+        for lane in 0..lanes {
+            let (tx, lane_rx) = mpsc::channel::<LaneEvent>();
+            let reply_tx = reply_tx.clone();
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("minnow-weave-{lane}"))
+                .spawn(move || {
+                    let stall = shared.stall_ns.saturating_mul(lane as u64 + 1);
+                    // Each lane receives its events in ascending seq order
+                    // (FIFO channel, dispatched in issue order), which the
+                    // deadlock-freedom argument relies on.
+                    while let Ok(ev) = lane_rx.recv() {
+                        if stall > 0 {
+                            std::thread::sleep(std::time::Duration::from_nanos(stall));
+                        }
+                        if reply_tx.send(lane_fetch(&shared, &ev)).is_err() {
+                            break;
+                        }
                     }
-                }
-                fabric
-            })
-            .expect("spawning the weave thread");
+                })
+                .expect("spawning a weave lane");
+            lane_txs.push(tx);
+            handles.push(handle);
+        }
         WeaveClient {
-            tx,
+            lane_txs,
             rx,
-            handle: Some(handle),
+            handles,
+            shared,
             outstanding: 0,
             next_seq: 0,
             max_inflight: max_inflight.max(1),
             drained: Vec::new(),
+            next_link: vec![0; n_links],
+            next_l3: 0,
+            next_chan: vec![0; n_chan],
+            noc_stats,
+            dram_stats,
         }
     }
 
     /// Emits one fetch event; returns its sequence number.
+    ///
+    /// Tickets are dispensed here, in issue (= canonical serial) order,
+    /// following the exact resource order of [`SharedFabric::fetch`]:
+    /// request-route links, L3, DRAM channel, response-route links.
     pub fn issue(&mut self, core: usize, bank: usize, line: u64, now: Cycle) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.outstanding += 1;
-        self.tx
-            .send(FetchEvent {
-                seq,
-                core: core as u32,
-                bank: bank as u32,
-                line,
-                now,
-            })
-            .expect("weave thread alive while the hierarchy runs");
+        let geom = self.shared.geom;
+        let mut ev = LaneEvent {
+            seq,
+            core: core as u32,
+            line,
+            now,
+            l3_ticket: 0,
+            dram_ticket: 0,
+            req: RoutePlan::empty(),
+            resp: RoutePlan::empty(),
+        };
+        plan_route(&geom, &mut self.next_link, core, bank, &mut ev.req);
+        ev.l3_ticket = self.next_l3;
+        self.next_l3 += 1;
+        let ch = channel_of(line, self.next_chan.len());
+        ev.dram_ticket = self.next_chan[ch];
+        self.next_chan[ch] += 1;
+        plan_route(&geom, &mut self.next_link, bank, core, &mut ev.resp);
+        let lane = (seq % self.lane_txs.len() as u64) as usize;
+        self.lane_txs[lane]
+            .send(ev)
+            .expect("weave lanes alive while the hierarchy runs");
         seq
     }
 
@@ -207,26 +544,254 @@ impl WeaveClient {
     }
 
     /// Blocks until every outstanding fetch has replied; returns the
-    /// replies (in weave order) via the reusable internal buffer.
+    /// replies in canonical (`seq`) order via the reusable internal
+    /// buffer, and folds the deferred fabric stats in that same order.
     pub fn drain(&mut self) -> &[FetchReply] {
         self.drained.clear();
         while self.outstanding > 0 {
             let reply = self
                 .rx
                 .recv()
-                .expect("weave thread alive while fetches are outstanding");
+                .expect("weave lanes alive while fetches are outstanding");
             self.outstanding -= 1;
             self.drained.push(reply);
+        }
+        // Replies interleave arbitrarily across lanes; restore canonical
+        // order so the order-dependent stat folds below (and the caller's
+        // iteration) match the serial oracle exactly.
+        self.drained.sort_unstable_by_key(|r| r.seq);
+        for r in &self.drained {
+            self.noc_stats.record_route(r.stats.req_queued, r.stats.req_hops);
+            if r.level == CacheLevel::Memory {
+                self.dram_stats.record_access(r.stats.dram_queued);
+            }
+            self.noc_stats.record_route(r.stats.resp_queued, r.stats.resp_hops);
         }
         &self.drained
     }
 
-    /// Shuts the weave thread down and brings the fabric home. The caller
-    /// must have drained first (no outstanding fetches).
-    pub fn finish(mut self) -> SharedFabric {
+    /// Shuts the lanes down and reassembles the fabric. The caller must
+    /// have drained first (no outstanding fetches).
+    pub fn finish(self) -> SharedFabric {
         debug_assert_eq!(self.outstanding, 0, "drain before finishing the weave");
-        let handle = self.handle.take().expect("finish runs once");
-        drop(self.tx); // disconnect: the weave loop exits and returns the fabric
-        handle.join().expect("weave thread exits cleanly")
+        let WeaveClient {
+            lane_txs,
+            rx,
+            handles,
+            shared,
+            noc_stats,
+            dram_stats,
+            ..
+        } = self;
+        drop(lane_txs); // disconnect: every lane loop exits
+        drop(rx);
+        for h in handles {
+            h.join().expect("weave lane exits cleanly");
+        }
+        let shared = Arc::try_unwrap(shared).expect("all lane clones joined");
+        let LaneShared {
+            geom,
+            links,
+            l3,
+            channels,
+            l3_latency,
+            dram_base,
+            dram_service,
+            ..
+        } = shared;
+        SharedFabric {
+            l3: l3.into_inner(),
+            noc: Noc::join(
+                geom,
+                links.into_iter().map(Turn::into_inner).collect(),
+                noc_stats,
+            ),
+            dram: Dram::join(
+                dram_base,
+                dram_service,
+                channels.into_iter().map(Turn::into_inner).collect(),
+                dram_stats,
+            ),
+            l3_latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheParams;
+
+    /// A small fabric: 4x4 mesh, 2-channel DRAM, 16KB/4-way shared L3.
+    fn test_fabric() -> SharedFabric {
+        SharedFabric {
+            l3: Cache::new(CacheParams {
+                size_bytes: 16 * 1024,
+                ways: 4,
+                line_bytes: 64,
+                latency: 27,
+            }),
+            noc: Noc::new(4, 3, 64),
+            dram: Dram::new(2, 200, 8),
+            l3_latency: 27,
+        }
+    }
+
+    /// A deterministic pseudo-random fetch schedule (SplitMix64 — no
+    /// `rand` dependency needed) mixing repeated lines (L3 hits), shared
+    /// links, shared DRAM channels, and equal-clock ties.
+    fn fetch_schedule(n: usize) -> Vec<(usize, usize, u64, Cycle)> {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        (0..n)
+            .map(|i| {
+                let r = next();
+                let core = (r % 16) as usize;
+                let bank = ((r >> 8) % 16) as usize;
+                // A small line universe forces hits, refetches, and
+                // channel collisions.
+                let line = (r >> 16) % 96;
+                // Coarse clocks create plenty of equal-`now` ties.
+                let now = ((i as u64) / 4) * 50;
+                (core, bank, line, now)
+            })
+            .collect()
+    }
+
+    /// Replays `schedule` through the serial oracle, returning per-fetch
+    /// `(beyond, level)` and the final fabric.
+    fn run_serial(schedule: &[(usize, usize, u64, Cycle)]) -> (Vec<(Cycle, CacheLevel)>, SharedFabric) {
+        let mut fabric = test_fabric();
+        let outcomes = schedule
+            .iter()
+            .map(|&(core, bank, line, now)| {
+                let o = fabric.fetch(core, bank, line, now);
+                (o.beyond, o.level)
+            })
+            .collect();
+        (outcomes, fabric)
+    }
+
+    /// Replays `schedule` through `lanes` sharded weave lanes, draining
+    /// every `drain_every` issues; returns per-fetch `(beyond, level)` in
+    /// seq order and the reassembled fabric.
+    fn run_sharded(
+        schedule: &[(usize, usize, u64, Cycle)],
+        lanes: usize,
+        drain_every: usize,
+    ) -> (Vec<(Cycle, CacheLevel)>, SharedFabric) {
+        let mut client = WeaveClient::spawn(test_fabric(), 1 << 20, lanes);
+        let mut outcomes = vec![(0, CacheLevel::L3); schedule.len()];
+        for (i, &(core, bank, line, now)) in schedule.iter().enumerate() {
+            client.issue(core, bank, line, now);
+            if (i + 1) % drain_every == 0 {
+                for r in client.drain() {
+                    outcomes[r.seq as usize] = (r.beyond, r.level);
+                }
+            }
+        }
+        for r in client.drain() {
+            outcomes[r.seq as usize] = (r.beyond, r.level);
+        }
+        (outcomes, client.finish())
+    }
+
+    #[test]
+    fn single_lane_matches_serial_oracle_bit_for_bit() {
+        let schedule = fetch_schedule(300);
+        let (serial, serial_fabric) = run_serial(&schedule);
+        let (sharded, sharded_fabric) = run_sharded(&schedule, 1, 64);
+        assert_eq!(serial, sharded);
+        assert_eq!(serial_fabric, sharded_fabric);
+    }
+
+    #[test]
+    fn any_lane_count_matches_serial_oracle_bit_for_bit() {
+        let schedule = fetch_schedule(400);
+        let (serial, serial_fabric) = run_serial(&schedule);
+        for lanes in [2, 3, 5, 8] {
+            // Vary the drain cadence too: barriers are outcome-neutral.
+            for drain_every in [7, 64, 401] {
+                let (sharded, sharded_fabric) = run_sharded(&schedule, lanes, drain_every);
+                assert_eq!(serial, sharded, "lanes={lanes} drain_every={drain_every}");
+                assert_eq!(
+                    serial_fabric, sharded_fabric,
+                    "final fabric state diverged: lanes={lanes} drain_every={drain_every}"
+                );
+            }
+        }
+    }
+
+    /// Golden fixture for the equal-clock tie-break: three fetches issued
+    /// at the *same* simulated time, all crossing the same first link and
+    /// hashing to the same DRAM channel. The oracle order is issue (seq)
+    /// order — earlier seq wins every shared resource — and these exact
+    /// latencies pin that tie-break for any lane count.
+    #[test]
+    fn equal_clock_ties_resolve_in_seq_order() {
+        // Cores 0,0,0 -> banks 3,3,3 at now=0: identical routes; lines
+        // chosen so 10 and 12 share DRAM channel 0 of 2 and line 10
+        // repeats (second occurrence hits in L3, skipping its channel
+        // ticket).
+        let schedule = vec![
+            (0usize, 3usize, 10u64, 0u64),
+            (0, 3, 12, 0),
+            (0, 3, 10, 0),
+        ];
+        let (serial, _) = run_serial(&schedule);
+        // Golden values (hand-checked against the model):
+        // fetch 0: req 3 hops * 3cy, L3 miss, DRAM 200cy uncontended,
+        //          resp 3 hops * 3cy => 9 + 27 + 200 + 9 = 245.
+        assert_eq!(serial[0], (245, CacheLevel::Memory));
+        // fetch 1: queues 1cy behind fetch 0 on the first link (the later
+        //          links have already gone idle by the time it arrives),
+        //          then 7cy behind fetch 0's DRAM service ([36,44) vs an
+        //          arrival at 37): req 9+1, L3 miss, DRAM 200+7,
+        //          resp 9 => 253.
+        assert_eq!(serial[1], (253, CacheLevel::Memory));
+        // fetch 2: queues 2cy on the first link behind both earlier
+        //          fetches; L3 *hit* on the refetched line, response
+        //          gap-fills long before the misses' responses:
+        //          req 9+2, L3 27, resp 9 => 47.
+        assert_eq!(serial[2], (47, CacheLevel::L3));
+        for lanes in [1, 2, 3] {
+            let (sharded, _) = run_sharded(&schedule, lanes, 64);
+            assert_eq!(serial, sharded, "lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn stall_injection_never_changes_outcomes() {
+        let schedule = fetch_schedule(200);
+        let (serial, serial_fabric) = run_serial(&schedule);
+        std::env::set_var("MINNOW_SHARD_STALL_NS", "1500");
+        let result = std::panic::catch_unwind(|| run_sharded(&schedule, 3, 32));
+        std::env::remove_var("MINNOW_SHARD_STALL_NS");
+        let (sharded, sharded_fabric) = result.expect("sharded run completes under stalls");
+        assert_eq!(serial, sharded);
+        assert_eq!(serial_fabric, sharded_fabric);
+    }
+
+    #[test]
+    fn paper_mesh_is_within_route_plan_capacity() {
+        let fabric = test_fabric();
+        assert!(fabric.supports_sharding());
+        // The paper's 8x8 mesh sits exactly at the limit.
+        let f8 = SharedFabric {
+            noc: Noc::new(8, 3, 64),
+            ..test_fabric()
+        };
+        assert!(f8.supports_sharding());
+        let f9 = SharedFabric {
+            noc: Noc::new(9, 3, 64),
+            ..test_fabric()
+        };
+        assert!(!f9.supports_sharding());
     }
 }

@@ -42,6 +42,7 @@ struct Args {
     seed: u64,
     threads: Option<usize>,
     point_threads: usize,
+    pin_point_threads: bool,
     out: String,
     max_evals: Option<usize>,
 }
@@ -62,7 +63,11 @@ options:
   --threads N      sweep-pool worker threads (default:
                    MINNOW_SWEEP_THREADS or available parallelism)
   --point-threads N
-                   bound-weave threads per simulation point (default 1)
+                   bound-weave threads per simulation point (default 1;
+                   an adaptive fallback runs tiny points serially)
+  --pin-point-threads
+                   disable the adaptive fallback: always shard when
+                   --point-threads >= 2 (outcomes identical either way)
   --out DIR        artifact + journal directory
                    (default target/minnow-explore)
   --max-evals N    run at most N fresh simulations, then checkpoint and
@@ -90,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         threads: None,
         point_threads: 1,
+        pin_point_threads: false,
         out: "target/minnow-explore".into(),
         max_evals: None,
     };
@@ -109,6 +115,7 @@ fn parse_args() -> Result<Args, String> {
             "--point-threads" => {
                 args.point_threads = argv.parse_at_least("--point-threads", 1)? as usize
             }
+            "--pin-point-threads" => args.pin_point_threads = true,
             "--out" => args.out = argv.value("--out")?,
             "--max-evals" => args.max_evals = Some(argv.parse::<u64>("--max-evals")? as usize),
             other if !other.starts_with('-') && args.space.is_none() => {
@@ -217,6 +224,7 @@ fn main() -> ExitCode {
         seed: args.seed,
         pool_threads: args.threads.unwrap_or_else(minnow::bench::sweep_threads),
         point_threads: args.point_threads,
+        pin_point_threads: args.pin_point_threads,
         max_fresh_evals: args.max_evals,
         journal_path,
         verbose: args.verbose,

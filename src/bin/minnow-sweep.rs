@@ -33,6 +33,7 @@ struct Args {
     dry_run: bool,
     threads: Option<usize>,
     point_threads: Option<usize>,
+    pin_point_threads: bool,
     filter: Option<String>,
     out: String,
     scale: Option<f64>,
@@ -58,9 +59,16 @@ options:
                   or the machine's available parallelism)
   --point-threads N
                   host threads simulating each single point (default 1;
-                  N >= 2 enables bound-weave mode — simulated results
-                  and every artifact stay byte-identical, only host
-                  wall-clock changes; traced points always run serially)
+                  N >= 2 enables sharded bound-weave mode — simulated
+                  results and every artifact stay byte-identical, only
+                  host wall-clock changes; traced points always run
+                  serially). An adaptive fallback runs tiny points
+                  serially so N >= 2 is never a wall-clock regression
+  --pin-point-threads
+                  disable the adaptive fallback: always shard when
+                  --point-threads >= 2, even for tiny workloads or on
+                  narrow hosts (determinism testing; outcomes are
+                  identical either way)
   --filter STR    run only points whose id contains STR
   --out DIR       artifact directory (default target/minnow-sweep)
   --scale X       input scale factor (default: MINNOW_BENCH_SCALE or 0.3)
@@ -104,6 +112,7 @@ fn parse_args() -> Result<Args, String> {
         dry_run: false,
         threads: None,
         point_threads: None,
+        pin_point_threads: false,
         filter: None,
         out: "target/minnow-sweep".into(),
         scale: None,
@@ -126,6 +135,7 @@ fn parse_args() -> Result<Args, String> {
             "--point-threads" => {
                 args.point_threads = Some(argv.parse_at_least("--point-threads", 1)? as usize)
             }
+            "--pin-point-threads" => args.pin_point_threads = true,
             "--filter" => args.filter = Some(argv.value("--filter")?),
             "--out" => args.out = argv.value("--out")?,
             "--scale" => args.scale = Some(argv.parse("--scale")?),
@@ -191,6 +201,7 @@ fn main() -> ExitCode {
     if let Some(pt) = args.point_threads {
         cfg.point_threads = pt;
     }
+    cfg.pin_point_threads = args.pin_point_threads;
     cfg.filter = args.filter.clone();
     cfg.trace = args.trace_out.is_some();
 

@@ -32,6 +32,7 @@ fn config(space: Space, strategy: Strategy, journal: PathBuf) -> ExploreConfig {
         seed: 42,
         pool_threads: 4,
         point_threads: 1,
+        pin_point_threads: false,
         max_fresh_evals: None,
         journal_path: journal,
         verbose: false,

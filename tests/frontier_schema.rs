@@ -22,6 +22,7 @@ fn artifact() -> (String, String) {
         seed: 42,
         pool_threads: 4,
         point_threads: 1,
+        pin_point_threads: false,
         max_fresh_evals: None,
         journal_path: dir.join("smoke.journal.jsonl"),
         verbose: false,

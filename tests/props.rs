@@ -597,6 +597,8 @@ proptest! {
     /// reproduces the golden fig16 makespans exactly. Epochs only decide
     /// *when* the executor drains the weave, and the cap only bounds how
     /// many fetches ride in flight — neither may leak into simulated time.
+    /// Runs are pinned so the shards actually engage: the reference
+    /// points sit below the adaptive-fallback threshold.
     #[test]
     fn weave_epoch_preserves_golden_makespans(epoch in 1u64..300_000,
                                               cap in 1usize..1024,
@@ -604,12 +606,46 @@ proptest! {
         for (id, run, golden) in weave_reference_points() {
             let mut woven = run.clone();
             woven.point_threads = point_threads;
+            woven.pin_point_threads = true;
             woven.weave_epoch = Some(epoch);
             woven.weave_inflight = Some(cap);
             let report = woven.execute();
             prop_assert_eq!(report.makespan, *golden,
                 "{}: epoch {} cap {} threads {} changed the makespan",
                 id, epoch, cap, point_threads);
+        }
+    }
+
+    /// Schedule fuzzing for the sharded weave: random shard counts,
+    /// epoch lengths, drain caps, *and* injected per-shard stalls (the
+    /// test-only `MINNOW_SHARD_STALL_NS` hook skews each lane's
+    /// real-time progress by a different amount) must never change the
+    /// golden fig16 makespans. Whatever interleaving the host scheduler
+    /// produces, the ticket scoreboard forces the serial order.
+    #[test]
+    fn shard_schedule_fuzzing_preserves_golden_makespans(
+        point_threads in 2usize..10,
+        epoch in 1u64..200_000,
+        cap in 1usize..512,
+        stall_ns in 0u64..3_000,
+    ) {
+        std::env::set_var("MINNOW_SHARD_STALL_NS", stall_ns.to_string());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for (id, run, golden) in weave_reference_points() {
+                let mut woven = run.clone();
+                woven.point_threads = point_threads;
+                woven.pin_point_threads = true;
+                woven.weave_epoch = Some(epoch);
+                woven.weave_inflight = Some(cap);
+                let report = woven.execute();
+                assert_eq!(report.makespan, *golden,
+                    "{id}: shards {point_threads} epoch {epoch} cap {cap} \
+                     stall {stall_ns}ns changed the makespan");
+            }
+        }));
+        std::env::remove_var("MINNOW_SHARD_STALL_NS");
+        if let Err(e) = outcome {
+            std::panic::resume_unwind(e);
         }
     }
 
