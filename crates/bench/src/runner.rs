@@ -133,6 +133,10 @@ pub struct BenchRun {
     /// `point_threads >= 2` (see
     /// `minnow_runtime::sim_exec::ExecConfig::pin_point_threads`).
     pub pin_point_threads: bool,
+    /// Explicit front-shard count within the `point_threads` budget (see
+    /// `minnow_runtime::sim_exec::ExecConfig::front_shards`); `None` lets
+    /// the planner split it. Outcome-neutral.
+    pub front_shards: Option<usize>,
 }
 
 impl BenchRun {
@@ -156,6 +160,7 @@ impl BenchRun {
             weave_epoch: None,
             weave_inflight: None,
             pin_point_threads: false,
+            front_shards: None,
         }
     }
 
@@ -200,6 +205,7 @@ impl BenchRun {
         }
         cfg.point_threads = self.point_threads.max(1);
         cfg.pin_point_threads = self.pin_point_threads;
+        cfg.front_shards = self.front_shards;
         if let Some(epoch) = self.weave_epoch {
             cfg.weave_epoch = epoch;
         }

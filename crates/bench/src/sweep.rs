@@ -330,6 +330,11 @@ pub struct SweepConfig {
     /// is tiny or the host is narrow. Determinism suites and CI set this
     /// so byte-identity checks actually exercise the sharded path.
     pub pin_point_threads: bool,
+    /// Explicit front-shard count within each point's `point_threads`
+    /// budget (see `minnow_runtime::sim_exec::ExecConfig::front_shards`).
+    /// `None` lets the planner split the budget. Outcome-neutral: every
+    /// artifact is byte-identical for every value.
+    pub front_shards: Option<usize>,
 }
 
 impl SweepConfig {
@@ -342,6 +347,7 @@ impl SweepConfig {
             point_threads: 1,
             input: None,
             pin_point_threads: false,
+            front_shards: None,
         }
     }
 
@@ -355,6 +361,7 @@ impl SweepConfig {
             point_threads: 1,
             input: None,
             pin_point_threads: false,
+            front_shards: None,
         }
     }
 
@@ -368,6 +375,13 @@ impl SweepConfig {
     /// (see [`SweepConfig::pin_point_threads`]).
     pub fn with_pinned_point_threads(mut self) -> Self {
         self.pin_point_threads = true;
+        self
+    }
+
+    /// Same configuration with an explicit front-shard count (see
+    /// [`SweepConfig::front_shards`]).
+    pub fn with_front_shards(mut self, front: usize) -> Self {
+        self.front_shards = Some(front);
         self
     }
 
@@ -475,6 +489,11 @@ pub struct SweepResult {
     /// Per-point simulation threads used (volatile; not part of any
     /// record — simulated results are identical for every value).
     pub point_threads: usize,
+    /// Requested front-shard override, echoed into the bench document
+    /// header so multi-line baseline files stay self-describing even on
+    /// hosts where the adaptive planner fell back to the serial path
+    /// (volatile, like `point_threads`).
+    pub front_shards: Option<usize>,
     /// Wall-clock duration of the whole sweep (volatile).
     pub wall: Duration,
     /// Selected points left unexecuted because [`SweepHooks::cancel`]
@@ -543,6 +562,7 @@ pub fn run_sweep_observed(sweep: &Sweep, cfg: &SweepConfig, hooks: &SweepHooks) 
                     let mut run = point.run.clone();
                     run.point_threads = cfg.point_threads.max(1);
                     run.pin_point_threads = cfg.pin_point_threads;
+                    run.front_shards = cfg.front_shards;
                     if cfg.input.is_some() {
                         run.input = cfg.input.clone();
                     }
@@ -587,6 +607,7 @@ pub fn run_sweep_observed(sweep: &Sweep, cfg: &SweepConfig, hooks: &SweepHooks) 
         points,
         pool_threads: pool,
         point_threads: cfg.point_threads.max(1),
+        front_shards: cfg.front_shards,
         wall: t0.elapsed(),
         skipped,
     }
@@ -742,6 +763,8 @@ impl SweepResult {
             JsonObject::new()
                 .str("id", &p.id)
                 .u64("pt_used", p.report.point_threads_used as u64)
+                .u64("pt_front_used", p.report.front_threads_used as u64)
+                .u64("pt_lane_used", p.report.lane_threads_used as u64)
                 .u64("wall_us", p.wall.as_micros() as u64)
                 .u64("tasks", p.report.tasks)
                 .u64("mem_accesses", p.report.mem_accesses)
@@ -758,10 +781,13 @@ impl SweepResult {
         if let Some(ingest) = &self.ingest {
             obj = obj.raw("ingest", &ingest.json());
         }
-        obj
+        obj = obj
             .u64("pool_threads", self.pool_threads as u64)
-            .u64("point_threads", self.point_threads as u64)
-            .u64("wall_ms", self.wall.as_millis() as u64)
+            .u64("point_threads", self.point_threads as u64);
+        if let Some(front) = self.front_shards {
+            obj = obj.u64("front_shards", front as u64);
+        }
+        obj.u64("wall_ms", self.wall.as_millis() as u64)
             .u64("total_tasks", tasks)
             .u64("total_mem_accesses", accesses)
             .f64("tasks_per_sec", {

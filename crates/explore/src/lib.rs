@@ -64,6 +64,9 @@ pub struct ExploreConfig {
     /// Skip the sharded weave's adaptive serial fallback (see
     /// `minnow_bench::sweep::SweepConfig::pin_point_threads`).
     pub pin_point_threads: bool,
+    /// Explicit front-shard count within each point's `point_threads`
+    /// budget (see `minnow_bench::sweep::SweepConfig::front_shards`).
+    pub front_shards: Option<usize>,
     /// Budget of *fresh* simulations this invocation may run; `None`
     /// is unbounded. Cached journal hits are always free. The budget
     /// selects a prefix of pending evaluations in enumeration order,
@@ -217,6 +220,7 @@ fn simulate(cfg: &ExploreConfig, configs: &[ConfigPoint], chunk: &[EvalKey]) -> 
         .with_threads(cfg.pool_threads.max(1))
         .with_point_threads(cfg.point_threads.max(1));
     sweep_cfg.pin_point_threads = cfg.pin_point_threads;
+    sweep_cfg.front_shards = cfg.front_shards;
     let narrate = |p: &PointResult| {
         eprintln!(
             "[explore]   {} makespan {} tasks {} ({} ms)",
@@ -293,6 +297,7 @@ mod tests {
             pool_threads: 2,
             point_threads: 1,
             pin_point_threads: false,
+            front_shards: None,
             max_fresh_evals: None,
             journal_path: path.clone(),
             verbose: false,
@@ -344,6 +349,7 @@ mod tests {
             pool_threads: 2,
             point_threads: 1,
             pin_point_threads: false,
+            front_shards: None,
             max_fresh_evals: None,
             journal_path: path.clone(),
             verbose: false,
@@ -376,6 +382,7 @@ mod tests {
             pool_threads: 2,
             point_threads: 1,
             pin_point_threads: false,
+            front_shards: None,
             max_fresh_evals: Some(1),
             journal_path: base.clone(),
             verbose: false,

@@ -143,6 +143,12 @@ pub fn run_bsp(op: &mut dyn Operator, cfg: &BspConfig) -> RunReport {
         prefetch_used: 0,
         supersteps: 0,
         point_threads_used: if weave { lanes + 1 } else { 1 },
+        // The BSP engine's charge order is round-robin within a
+        // superstep, not the canonical `(clock, core)` order, so it
+        // never front-shards: the full `point_threads` budget goes to
+        // weave lanes via `plan_weave_lanes`.
+        front_threads_used: 1,
+        lane_threads_used: if weave { lanes } else { 0 },
         accounting: CycleAccounting::new(0),
     };
     let mut now: Cycle = 0;

@@ -1,0 +1,287 @@
+//! The sharded front: N front threads own disjoint groups of simulated
+//! cores and take turns driving the simulation spine.
+//!
+//! # Why a relay, not data parallelism
+//!
+//! The executor's per-task spine — heap pop, scheduler dequeue, operator
+//! execution, hierarchy charge, scheduler enqueues — is a strict
+//! sequential dependency chain through shared black-box state (the
+//! operator's algorithm state, the scheduler's shared worklist or global
+//! OBIM, the directory's cross-core invalidations). Under the repo's
+//! byte-identity contract the chain cannot be split into concurrently
+//! executing halves without changing simulated outcomes. What *can* be
+//! partitioned is **ownership**: each front thread owns a contiguous
+//! block of simulated cores (with their private L1/L2 state, directory
+//! interactions, and per-core worklist engines), and the spine migrates
+//! to the owner of whichever core the canonical order schedules next.
+//!
+//! # Canonical order
+//!
+//! The serial oracle pops a `(simulated_clock, core_id)` min-heap, so its
+//! linearization is nondecreasing in `(clock, core)` lexicographic order.
+//! That key — *not* host arrival order — is the dispatcher's canonical
+//! issue order: shared-fabric tickets (NoC links, whole-L3, DRAM
+//! channels) are dispensed in spine order, so they are pre-assigned
+//! deterministically regardless of which front thread reaches the fetch
+//! first, and order-dependent statistics fold identically. The relay
+//! preserves the key sequence trivially — exactly one thread holds the
+//! spine at a time — and `TaskScratch::begin_task_at` debug-asserts the
+//! monotonicity on every task.
+//!
+//! # Epoch synchronization
+//!
+//! The existing bound-weave epoch min-clock is the only global
+//! synchronization: whichever shard holds the spine when the global
+//! min-clock crosses an epoch boundary drains the weave there, so front
+//! shards and weave lanes never drift more than one epoch apart. Handoffs
+//! happen at core-ownership boundaries in the heap order; a shard keeps
+//! the baton for as long as consecutive pops stay inside its core block.
+//!
+//! # Fault injection
+//!
+//! `MINNOW_FRONT_STALL_NS` (test-only, mirrors `MINNOW_SHARD_STALL_NS` on
+//! the weave lanes) makes shard `s` sleep `(s + 1) x` that many
+//! nanoseconds on every baton receipt, skewing the host-side schedule
+//! without touching simulated time — the schedule-fuzz proptests drive it
+//! to show outcomes never depend on host timing.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+
+/// What the spine reports after processing one canonical-order step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontStep {
+    /// The spine is mid-run; the next heap top belongs to `core`.
+    Yield {
+        /// Simulated core the canonical order schedules next.
+        core: usize,
+    },
+    /// The run finished (drained, or hit its task limit).
+    Done,
+}
+
+/// One relayable simulation spine: processes canonical-order steps and
+/// says which simulated core the next step belongs to.
+///
+/// `Send` because the relay moves the spine between front threads at
+/// ownership boundaries.
+pub trait FrontSpine: Send {
+    /// Processes exactly one heap pop (a task, an idle poll, or the
+    /// termination check) and peeks the next owner.
+    fn step(&mut self) -> FrontStep;
+
+    /// Simulated cores the partition covers.
+    fn cores(&self) -> usize;
+}
+
+/// The front shard that owns `core`: contiguous blocks, every shard
+/// non-empty for `front <= cores`.
+#[inline]
+#[must_use]
+pub fn shard_of(core: usize, cores: usize, front: usize) -> usize {
+    debug_assert!(core < cores, "core {core} out of range {cores}");
+    core * front / cores
+}
+
+/// Test-only handoff stall (`MINNOW_FRONT_STALL_NS`), read per run.
+fn front_stall_ns() -> u64 {
+    std::env::var("MINNOW_FRONT_STALL_NS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The baton passed between shards: the live spine, or a quit signal
+/// broadcast once some shard observes termination.
+enum Baton<S> {
+    Work(S),
+    Quit,
+}
+
+/// Drives `spine` to completion across `front` relay threads (the caller
+/// acts as shard 0) and hands it back. `front <= 1` runs the plain serial
+/// loop with no threads spawned. The step sequence — and therefore every
+/// simulated outcome — is identical for every `front`; only host-side
+/// locality and wall-clock change.
+pub fn relay_run<S: FrontSpine>(mut spine: S, front: usize) -> S {
+    let cores = spine.cores();
+    let front = front.clamp(1, cores.max(1));
+    if front <= 1 {
+        while spine.step() != FrontStep::Done {}
+        return spine;
+    }
+
+    let stall_ns = front_stall_ns();
+    let mut txs: Vec<SyncSender<Baton<S>>> = Vec::with_capacity(front);
+    let mut rxs: Vec<Receiver<Baton<S>>> = Vec::with_capacity(front);
+    for _ in 0..front {
+        // Capacity 1 suffices: exactly one Work baton exists, and Quit is
+        // only broadcast when every other shard is parked on an empty
+        // channel (the finisher holds the lone baton), so sends never
+        // block.
+        let (tx, rx) = sync_channel(1);
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let (res_tx, res_rx) = sync_channel::<S>(1);
+
+    // One shard's relay loop: park for the baton, run the spine while
+    // consecutive canonical steps stay inside this shard's core block,
+    // hand off at an ownership boundary, broadcast Quit at termination.
+    let work = |me: usize, rx: &Receiver<Baton<S>>, txs: &[SyncSender<Baton<S>>]| {
+        while let Ok(baton) = rx.recv() {
+            let Baton::Work(mut spine) = baton else {
+                return;
+            };
+            if stall_ns > 0 {
+                std::thread::sleep(std::time::Duration::from_nanos(
+                    stall_ns.saturating_mul(me as u64 + 1),
+                ));
+            }
+            loop {
+                match spine.step() {
+                    FrontStep::Yield { core } => {
+                        let owner = shard_of(core, cores, front);
+                        if owner != me {
+                            txs[owner]
+                                .send(Baton::Work(spine))
+                                .expect("relay peer hung up mid-run");
+                            break;
+                        }
+                    }
+                    FrontStep::Done => {
+                        for (s, tx) in txs.iter().enumerate() {
+                            if s != me {
+                                let _ = tx.send(Baton::Quit);
+                            }
+                        }
+                        res_tx
+                            .send(spine)
+                            .expect("relay caller hung up before the result");
+                        return;
+                    }
+                }
+            }
+        }
+    };
+
+    let mut rx_iter = rxs.into_iter();
+    let rx0 = rx_iter.next().expect("front >= 2 shards");
+    std::thread::scope(|scope| {
+        for (peer, rx) in rx_iter.enumerate() {
+            let work = &work;
+            let txs = &txs;
+            scope.spawn(move || work(peer + 1, &rx, txs));
+        }
+        // The initial heap top is (0, core 0): shard 0 — this thread —
+        // starts with the baton.
+        txs[0]
+            .send(Baton::Work(spine))
+            .expect("shard 0 channel is empty at start");
+        work(0, &rx0, &txs);
+    });
+
+    res_rx.recv().expect("relay finished without returning the spine")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A spine that visits a scripted core sequence and records which
+    /// host thread executed each step.
+    struct ScriptSpine {
+        script: Vec<usize>,
+        at: usize,
+        cores: usize,
+        visited: Vec<(usize, std::thread::ThreadId)>,
+    }
+
+    impl FrontSpine for ScriptSpine {
+        fn step(&mut self) -> FrontStep {
+            let here = self.script[self.at];
+            self.visited.push((here, std::thread::current().id()));
+            self.at += 1;
+            match self.script.get(self.at) {
+                Some(&core) => FrontStep::Yield { core },
+                None => FrontStep::Done,
+            }
+        }
+        fn cores(&self) -> usize {
+            self.cores
+        }
+    }
+
+    fn script(cores: usize, steps: Vec<usize>) -> ScriptSpine {
+        ScriptSpine {
+            script: steps,
+            at: 0,
+            cores,
+            visited: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn contiguous_partition_covers_every_core_nonempty() {
+        for cores in [1usize, 2, 3, 8, 64] {
+            for front in 1..=cores {
+                let mut counts = vec![0usize; front];
+                for core in 0..cores {
+                    let s = shard_of(core, cores, front);
+                    assert!(s < front, "core {core} mapped to shard {s} of {front}");
+                    counts[s] += 1;
+                }
+                assert!(counts.iter().all(|&c| c > 0), "{cores} cores / {front} shards");
+                // Contiguity: the shard id is nondecreasing in core id.
+                let ids: Vec<usize> = (0..cores).map(|c| shard_of(c, cores, front)).collect();
+                let mut sorted = ids.clone();
+                sorted.sort_unstable();
+                assert_eq!(ids, sorted);
+            }
+        }
+    }
+
+    #[test]
+    fn relay_preserves_the_exact_step_sequence() {
+        let steps = vec![0usize, 0, 3, 1, 2, 3, 0, 2, 1, 1, 3, 0];
+        for front in [1usize, 2, 3, 4] {
+            let spine = script(4, steps.clone());
+            let done = relay_run(spine, front);
+            let visited: Vec<usize> = done.visited.iter().map(|&(c, _)| c).collect();
+            assert_eq!(visited, steps, "front={front} reordered the spine");
+        }
+    }
+
+    #[test]
+    fn each_step_runs_on_its_owning_shard() {
+        // Cores 0..3 across 2 shards: {0,1} -> shard 0, {2,3} -> shard 1.
+        let steps = vec![0usize, 2, 2, 1, 3, 0];
+        let done = relay_run(script(4, steps), 2);
+        let caller = std::thread::current().id();
+        for &(core, tid) in &done.visited {
+            if shard_of(core, 4, 2) == 0 {
+                assert_eq!(tid, caller, "core {core} must run on the caller (shard 0)");
+            } else {
+                assert_ne!(tid, caller, "core {core} must run on the spawned shard");
+            }
+        }
+    }
+
+    #[test]
+    fn front_clamps_to_core_count() {
+        // More shards than cores: clamps, still completes.
+        let done = relay_run(script(2, vec![0, 1, 0, 1]), 8);
+        assert_eq!(done.visited.len(), 4);
+    }
+
+    #[test]
+    fn stall_injection_never_changes_the_sequence() {
+        let steps: Vec<usize> = (0..40).map(|i| (i * 7 + 3) % 6).collect();
+        let clean = relay_run(script(6, steps.clone()), 3);
+        std::env::set_var("MINNOW_FRONT_STALL_NS", "40000");
+        let stalled = relay_run(script(6, steps), 3);
+        std::env::remove_var("MINNOW_FRONT_STALL_NS");
+        let a: Vec<usize> = clean.visited.iter().map(|&(c, _)| c).collect();
+        let b: Vec<usize> = stalled.visited.iter().map(|&(c, _)| c).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -43,6 +43,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod bsp;
+pub mod front;
 pub mod op;
 pub mod par;
 pub mod sched;

@@ -234,7 +234,13 @@ impl TaskCtx {
 }
 
 /// A data-driven workload: per-task functional work plus trace recording.
-pub trait Operator {
+///
+/// `Send` is a supertrait: the front-sharded executor relays the whole
+/// simulation spine — operator included — between front threads at core
+/// ownership boundaries (see `minnow_runtime::front`), so every operator
+/// must be transferable. All operators are plain owned data over an
+/// `Arc<Csr>`, so this costs implementors nothing.
+pub trait Operator: Send {
     /// Workload name (e.g. `"SSSP"`).
     fn name(&self) -> &'static str;
 

@@ -59,7 +59,11 @@ impl SchedStats {
 }
 
 /// Where tasks come from and what each operation costs the worker.
-pub trait SchedulerModel {
+///
+/// `Send` is a supertrait so the front-sharded executor can relay the
+/// scheduler between front threads along with the rest of the simulation
+/// spine (see `minnow_runtime::front`).
+pub trait SchedulerModel: Send {
     /// Human-readable configuration label.
     fn label(&self) -> String;
 

@@ -44,6 +44,12 @@ pub struct TaskScratch {
     /// loop: `(delinquent-latency slot to patch, fetch seq)`. Settled at the
     /// task-end barrier inside [`charge_task`]; always empty between tasks.
     pending_fetches: Vec<(Option<usize>, u64)>,
+    /// The canonical `(clock, core)` key of the last task begun through
+    /// [`TaskScratch::begin_task_at`] — the executor's dispatch order.
+    /// Debug builds assert the sequence is lexicographically nondecreasing,
+    /// i.e. that front sharding never reorders the serial oracle's
+    /// linearization.
+    last_key: Option<(Cycle, usize)>,
 }
 
 impl TaskScratch {
@@ -54,12 +60,31 @@ impl TaskScratch {
             trace: TaskTrace::default(),
             parts: Vec::new(),
             pending_fetches: Vec::new(),
+            last_key: None,
         }
     }
 
     /// Clears all per-task state, keeping every allocation.
     #[inline]
     pub fn begin_task(&mut self) {
+        self.ctx.reset();
+    }
+
+    /// Like [`TaskScratch::begin_task`], but also records the canonical
+    /// `(clock, core)` dispatch key and debug-asserts the sequence is
+    /// lexicographically nondecreasing — the front-sharded executor's
+    /// issue-order invariant (see `minnow_runtime::front`). The BSP
+    /// executor charges in round-robin order, not canonical order, so it
+    /// keeps plain [`TaskScratch::begin_task`].
+    #[inline]
+    pub fn begin_task_at(&mut self, now: Cycle, core: usize) {
+        debug_assert!(
+            self.last_key.is_none_or(|prev| prev <= (now, core)),
+            "canonical dispatch order violated: {:?} then {:?}",
+            self.last_key,
+            (now, core)
+        );
+        self.last_key = Some((now, core));
         self.ctx.reset();
     }
 }

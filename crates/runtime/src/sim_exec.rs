@@ -21,15 +21,18 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
+use minnow_graph::Csr;
 use minnow_sim::config::SimConfig;
 use minnow_sim::core::{CoreMode, CoreModel};
 use minnow_sim::cycles::Cycle;
 use minnow_sim::hierarchy::MemoryHierarchy;
 use minnow_sim::observer::{HwPrefetcher, MemoryImage};
 use minnow_sim::stats::{CycleAccounting, CycleBin};
-use minnow_sim::trace::TraceEvent;
+use minnow_sim::trace::{TraceEvent, Tracer};
 
+use crate::front::{self, FrontSpine, FrontStep};
 use crate::op::Operator;
 use crate::sched::{SchedStats, SchedulerModel, SoftwareScheduler};
 use crate::scratch::{charge_task, ChargeCounters, TaskScratch};
@@ -74,6 +77,12 @@ pub struct ExecConfig {
     /// determinism tests and CI set this so the sharded path actually runs
     /// on small inputs and 1-core hosts.
     pub pin_point_threads: bool,
+    /// Explicit front-shard count within the `point_threads` budget:
+    /// `Some(f)` pins `f` front threads (clamped to the budget and the
+    /// simulated core count), leaving `point_threads - f` weave lanes.
+    /// `None` (the default) lets [`plan_point_split`] divide the budget.
+    /// Outcome-neutral like every other host-threading knob.
+    pub front_shards: Option<usize>,
 }
 
 /// Default bound-weave epoch length (simulated cycles). Long enough that
@@ -119,6 +128,83 @@ pub fn plan_weave_lanes(point_threads: usize, pinned: bool, edges: usize) -> usi
     (point_threads - 1).min(host - 1)
 }
 
+/// How a point's `--point-threads` host budget is divided between front
+/// shards (which own core groups and relay the simulation spine, see
+/// [`crate::front`]) and weave lanes (which replay shared-fabric fetches
+/// under ticket scoreboards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointPlan {
+    /// Front threads; `1` means the caller drives the spine alone.
+    pub front: usize,
+    /// Weave lane threads; `0` means the shared fabric stays inline.
+    pub lanes: usize,
+}
+
+impl PointPlan {
+    /// The serial oracle: one front thread, inline fabric.
+    pub const SERIAL: PointPlan = PointPlan { front: 1, lanes: 0 };
+
+    /// Host threads this plan occupies.
+    #[must_use]
+    pub fn host_threads(&self) -> usize {
+        self.front + self.lanes
+    }
+
+    /// Whether the plan is the serial oracle path.
+    #[must_use]
+    pub fn is_serial(&self) -> bool {
+        self.front <= 1 && self.lanes == 0
+    }
+}
+
+/// Divides the `point_threads` budget into a [`PointPlan`].
+///
+/// The split: lanes and front shards each get half the budget by default
+/// (`front_override` pins the front side explicitly), with the front
+/// clamped to the simulated core count — a shard must own at least one
+/// core. The adaptive serial fallback is the same one
+/// [`plan_weave_lanes`] applies: unpinned plans decline to shard tiny
+/// workloads (< [`MIN_WEAVE_EDGES`]) or starved hosts, so
+/// `--point-threads` is never a wall-clock regression; `pinned` overrides
+/// it for determinism suites. Every plan is outcome-neutral — the choice
+/// moves host wall-clock only.
+pub fn plan_point_split(
+    point_threads: usize,
+    front_override: Option<usize>,
+    pinned: bool,
+    edges: usize,
+    sim_cores: usize,
+) -> PointPlan {
+    if point_threads <= 1 {
+        return PointPlan::SERIAL;
+    }
+    let total = if pinned {
+        point_threads
+    } else {
+        if edges < MIN_WEAVE_EDGES {
+            return PointPlan::SERIAL;
+        }
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if host < 2 {
+            return PointPlan::SERIAL;
+        }
+        point_threads.min(host)
+    };
+    if total <= 1 {
+        return PointPlan::SERIAL;
+    }
+    let front = front_override
+        .unwrap_or(total / 2)
+        .clamp(1, sim_cores.max(1))
+        .min(total);
+    PointPlan {
+        front,
+        lanes: total - front,
+    }
+}
+
 impl ExecConfig {
     /// A scaled machine with the given thread count and paper-default knobs.
     pub fn new(threads: usize) -> Self {
@@ -134,6 +220,7 @@ impl ExecConfig {
             weave_epoch: DEFAULT_WEAVE_EPOCH,
             weave_inflight: DEFAULT_WEAVE_INFLIGHT,
             pin_point_threads: false,
+            front_shards: None,
         }
     }
 
@@ -208,9 +295,18 @@ pub struct RunReport {
     pub supersteps: u64,
     /// Host threads that actually simulated this point: `1` when the run
     /// took the serial path (requested, adaptive fallback, tracer, or an
-    /// unsupported mesh), `lanes + 1` when the sharded weave ran. Affects
-    /// wall clock only, never simulated outcomes.
+    /// unsupported mesh), `front + lanes` when front shards and/or the
+    /// sharded weave ran. Affects wall clock only, never simulated
+    /// outcomes.
     pub point_threads_used: usize,
+    /// Front threads that drove the spine (the relay of
+    /// [`crate::front`]): `1` on the serial path, the planned shard count
+    /// otherwise. Reported as `pt_front_used` in bench documents.
+    pub front_threads_used: usize,
+    /// Weave lane threads that replayed shared-fabric fetches: `0` when
+    /// the fabric stayed inline. Reported as `pt_lane_used` in bench
+    /// documents.
+    pub lane_threads_used: usize,
     /// Closed per-core cycle accounting: every cycle of every core up
     /// to the makespan lands in exactly one [`CycleBin`]. The
     /// [`Breakdown`] is derived from it (busy bins only); this field
@@ -269,13 +365,168 @@ pub fn run(
     run_with_prefetcher(op, sched, mem, None, cfg)
 }
 
+/// The live simulation spine: every piece of state one canonical-order
+/// step touches, packaged as one movable value so the front relay
+/// ([`crate::front`]) can migrate it between front threads at core
+/// ownership boundaries. [`FrontSpine::step`] reproduces exactly one
+/// iteration of the classic executor loop — heap pop, epoch drain,
+/// scheduler tick, dequeue (or idle poll, or termination), operator
+/// execution, hierarchy charge, enqueues — so the step sequence, and with
+/// it every simulated outcome, is identical for any front-shard count.
+struct ExecSpine<'a> {
+    op: &'a mut dyn Operator,
+    sched: &'a mut dyn SchedulerModel,
+    mem: &'a mut MemoryHierarchy,
+    hw_prefetcher: Option<(&'a mut dyn HwPrefetcher, &'a dyn MemoryImage)>,
+    core_model: CoreModel,
+    graph: Arc<Csr>,
+    split_threshold: Option<u32>,
+    tracer: Tracer,
+    poll_interval: Cycle,
+    task_limit: u64,
+    weave: bool,
+    epoch_len: Cycle,
+    next_epoch: Cycle,
+    accounting: CycleAccounting,
+    clock: Vec<Cycle>,
+    // Index min-heap over thread clocks, keyed `(clock, thread-id)`. The
+    // pop sequence is nondecreasing in that key — the dispatcher's
+    // canonical issue order; each thread is in the heap exactly once.
+    ready: BinaryHeap<Reverse<(Cycle, usize)>>,
+    scratch: TaskScratch,
+    counters: ChargeCounters,
+    report: RunReport,
+}
+
+impl ExecSpine<'_> {
+    /// Peeks the heap top — the next canonical step's owning core.
+    fn peek(&self) -> FrontStep {
+        match self.ready.peek() {
+            Some(&Reverse((_, core))) => FrontStep::Yield { core },
+            None => FrontStep::Done,
+        }
+    }
+}
+
+impl FrontSpine for ExecSpine<'_> {
+    fn cores(&self) -> usize {
+        self.clock.len()
+    }
+
+    fn step(&mut self) -> FrontStep {
+        // Advance the thread with the smallest `(clock, id)` key.
+        let Some(Reverse((now, idx))) = self.ready.pop() else {
+            return FrontStep::Done;
+        };
+        debug_assert_eq!(now, self.clock[idx]);
+        // Epoch boundary: the global clock (min over threads) crossed into
+        // a new epoch — barrier the weave so front and weave never drift
+        // more than one epoch apart. Whichever front shard holds the spine
+        // performs the drain; that is the relay's only global sync point.
+        if self.weave && now >= self.next_epoch {
+            self.mem.drain_weave();
+            self.next_epoch = (now / self.epoch_len + 1) * self.epoch_len;
+        }
+        self.sched.tick(now, self.mem);
+
+        let deq = self.sched.dequeue(idx, now, self.mem);
+        self.clock[idx] += deq.cost;
+        self.accounting.charge(idx, CycleBin::Worklist, deq.cost);
+
+        let Some(task) = deq.task else {
+            if self.sched.pending() == 0 {
+                // No pending tasks and no thread is mid-task (tasks commit
+                // atomically at dequeue time): global termination.
+                return FrontStep::Done;
+            }
+            self.accounting.charge(idx, CycleBin::Idle, self.poll_interval);
+            let (at, poll) = (self.clock[idx], self.poll_interval);
+            self.tracer
+                .emit(|| TraceEvent::complete("poll", "sched", idx as u32, at, poll));
+            self.clock[idx] += poll;
+            self.ready.push(Reverse((self.clock[idx], idx)));
+            return self.peek();
+        };
+        self.tracer.emit(|| {
+            TraceEvent::complete("dequeue", "sched", idx as u32, now, deq.cost)
+                .with_arg("node", task.node as u64)
+        });
+
+        // ---- execute the task functionally, recording its trace ----
+        self.scratch.begin_task_at(now, idx);
+        self.op.execute(task, &mut self.scratch.ctx);
+
+        // ---- charge recorded accesses against the hierarchy ----
+        let t0 = self.clock[idx];
+        let cycles = charge_task(
+            &mut self.scratch,
+            self.mem,
+            &self.core_model,
+            idx,
+            t0,
+            &mut self.hw_prefetcher,
+            &mut self.counters,
+        );
+        self.clock[idx] += cycles.total();
+        self.accounting.charge(idx, CycleBin::Useful, cycles.compute);
+        self.accounting.charge(idx, CycleBin::Memory, cycles.memory);
+        self.accounting.charge(idx, CycleBin::Fence, cycles.fence);
+        self.accounting.charge(idx, CycleBin::Branch, cycles.branch);
+        self.report.instructions += self.scratch.ctx.instrs();
+        self.tracer.emit(|| {
+            TraceEvent::complete("execute", "task", idx as u32, t0, cycles.total())
+                .with_arg("node", task.node as u64)
+                .with_arg("memory", cycles.memory)
+                .with_arg("fence", cycles.fence)
+                .with_arg("branch", cycles.branch)
+        });
+
+        // ---- enqueue follow-up tasks (with splitting) ----
+        for p in 0..self.scratch.ctx.pushes().len() {
+            let pushed = self.scratch.ctx.pushes()[p];
+            self.scratch.parts.clear();
+            match self.split_threshold {
+                Some(th) => {
+                    let degree = self.graph.out_degree(pushed.node);
+                    split_task_into(pushed, degree, th, &mut self.scratch.parts);
+                }
+                None => self.scratch.parts.push(pushed),
+            }
+            for i in 0..self.scratch.parts.len() {
+                let part = self.scratch.parts[i];
+                let at = self.clock[idx];
+                let cost = self.sched.enqueue(idx, part, at, self.mem);
+                self.clock[idx] += cost;
+                self.accounting.charge(idx, CycleBin::Worklist, cost);
+                self.tracer.emit(|| {
+                    TraceEvent::complete("enqueue", "sched", idx as u32, at, cost)
+                        .with_arg("node", part.node as u64)
+                });
+            }
+        }
+
+        self.report.tasks += 1;
+        let retired_at = self.clock[idx];
+        self.tracer.emit(|| {
+            TraceEvent::instant("retire", "task", idx as u32, retired_at)
+                .with_arg("node", task.node as u64)
+        });
+        if self.report.tasks >= self.task_limit {
+            self.report.timed_out = true;
+            return FrontStep::Done;
+        }
+        self.ready.push(Reverse((self.clock[idx], idx)));
+        self.peek()
+    }
+}
+
 /// Like [`run`], with an optional table-based hardware prefetcher snooping
 /// every demand load (the paper's Fig. 17 stride/IMP comparison).
 pub fn run_with_prefetcher(
     op: &mut dyn Operator,
     sched: &mut dyn SchedulerModel,
     mem: &mut MemoryHierarchy,
-    mut hw_prefetcher: Option<(&mut dyn HwPrefetcher, &dyn MemoryImage)>,
+    hw_prefetcher: Option<(&mut dyn HwPrefetcher, &dyn MemoryImage)>,
     cfg: &ExecConfig,
 ) -> RunReport {
     assert!(cfg.threads >= 1, "need at least one thread");
@@ -298,31 +549,33 @@ pub fn run_with_prefetcher(
 
     sched.seed(op.initial_tasks());
 
-    // Bound-weave mode: move the shared fabric onto the sharded weave
-    // lanes. `plan_weave_lanes` applies the adaptive serial fallback;
-    // `enable_weave` additionally refuses (returns false) under tracing,
-    // pinning traced points to the serial oracle path.
-    let lanes = plan_weave_lanes(cfg.point_threads, cfg.pin_point_threads, graph.edges());
-    let weave = lanes > 0 && mem.enable_weave(cfg.weave_inflight.max(1), lanes);
+    // Split the host budget into front shards + weave lanes. Traced points
+    // run fully serial (`enable_weave` refuses under tracing too, but the
+    // front must also decline so trace streams come from one path only).
+    let mut plan = plan_point_split(
+        cfg.point_threads,
+        cfg.front_shards,
+        cfg.pin_point_threads,
+        graph.edges(),
+        cfg.threads,
+    );
+    if mem.tracer().is_enabled() {
+        plan = PointPlan::SERIAL;
+    }
+    let weave = plan.lanes > 0 && mem.enable_weave(cfg.weave_inflight.max(1), plan.lanes);
+    if plan.lanes > 0 && !weave {
+        // The fabric declined (unsupported mesh): take the full serial
+        // oracle path, matching the pre-split executor's fallback.
+        plan = PointPlan::SERIAL;
+    }
     let epoch_len = cfg.weave_epoch.max(1);
-    let mut next_epoch = epoch_len;
 
     let tracer = mem.tracer().clone();
-    let mut accounting = CycleAccounting::new(cfg.threads);
-    let mut clock = vec![0 as Cycle; cfg.threads];
-    // Index min-heap over thread clocks, keyed `(clock, thread-id)`. The
-    // previous linear scan chose the smallest clock with a strict `<`
-    // compare, i.e. the lowest thread id among tied minima — exactly the
-    // order a `(clock, tid)` min-heap pops, so the linearization (and every
-    // simulated cycle) is unchanged. Each thread is in the heap exactly
-    // once; the capacity never grows past `threads`.
     let mut ready: BinaryHeap<Reverse<(Cycle, usize)>> = BinaryHeap::with_capacity(cfg.threads);
     for t in 0..cfg.threads {
         ready.push(Reverse((0, t)));
     }
-    let mut scratch = TaskScratch::new(map, cfg.serial_baseline);
-    let mut counters = ChargeCounters::default();
-    let mut report = RunReport {
+    let report = RunReport {
         makespan: 0,
         tasks: 0,
         instructions: 0,
@@ -336,110 +589,48 @@ pub fn run_with_prefetcher(
         prefetch_fills: 0,
         prefetch_used: 0,
         supersteps: 0,
-        point_threads_used: if weave { lanes + 1 } else { 1 },
+        point_threads_used: plan.host_threads(),
+        front_threads_used: plan.front,
+        lane_threads_used: if weave { plan.lanes } else { 0 },
         accounting: CycleAccounting::new(0),
     };
 
-    'outer: loop {
-        // Advance the thread with the smallest clock.
-        let Reverse((now, idx)) = ready.pop().expect("one entry per thread");
-        debug_assert_eq!(now, clock[idx]);
-        // Epoch boundary: the global clock (min over threads) crossed into
-        // a new epoch — barrier the weave so front and weave never drift
-        // more than one epoch apart.
-        if weave && now >= next_epoch {
-            mem.drain_weave();
-            next_epoch = (now / epoch_len + 1) * epoch_len;
-        }
-        sched.tick(now, mem);
+    let spine = ExecSpine {
+        op,
+        sched,
+        mem,
+        // Rebuild the tuple so each reference sits at a coercion site:
+        // the caller's trait-object lifetimes shrink to the spine's.
+        hw_prefetcher: hw_prefetcher
+            .map(|(hw, image)| (hw as &mut dyn HwPrefetcher, image as &dyn MemoryImage)),
+        core_model,
+        graph,
+        split_threshold,
+        tracer,
+        poll_interval: cfg.poll_interval,
+        task_limit: cfg.task_limit.max(1),
+        weave,
+        epoch_len,
+        next_epoch: epoch_len,
+        accounting: CycleAccounting::new(cfg.threads),
+        clock: vec![0 as Cycle; cfg.threads],
+        ready,
+        scratch: TaskScratch::new(map, cfg.serial_baseline),
+        counters: ChargeCounters::default(),
+        report,
+    };
 
-        let deq = sched.dequeue(idx, now, mem);
-        clock[idx] += deq.cost;
-        accounting.charge(idx, CycleBin::Worklist, deq.cost);
-
-        let Some(task) = deq.task else {
-            if sched.pending() == 0 {
-                // No pending tasks and no thread is mid-task (tasks commit
-                // atomically at dequeue time): global termination.
-                break 'outer;
-            }
-            accounting.charge(idx, CycleBin::Idle, cfg.poll_interval);
-            tracer.emit(|| {
-                TraceEvent::complete("poll", "sched", idx as u32, clock[idx], cfg.poll_interval)
-            });
-            clock[idx] += cfg.poll_interval;
-            ready.push(Reverse((clock[idx], idx)));
-            continue;
-        };
-        tracer.emit(|| {
-            TraceEvent::complete("dequeue", "sched", idx as u32, now, deq.cost)
-                .with_arg("node", task.node as u64)
-        });
-
-        // ---- execute the task functionally, recording its trace ----
-        scratch.begin_task();
-        op.execute(task, &mut scratch.ctx);
-
-        // ---- charge recorded accesses against the hierarchy ----
-        let t0 = clock[idx];
-        let cycles = charge_task(
-            &mut scratch,
-            mem,
-            &core_model,
-            idx,
-            t0,
-            &mut hw_prefetcher,
-            &mut counters,
-        );
-        clock[idx] += cycles.total();
-        accounting.charge(idx, CycleBin::Useful, cycles.compute);
-        accounting.charge(idx, CycleBin::Memory, cycles.memory);
-        accounting.charge(idx, CycleBin::Fence, cycles.fence);
-        accounting.charge(idx, CycleBin::Branch, cycles.branch);
-        report.instructions += scratch.ctx.instrs();
-        tracer.emit(|| {
-            TraceEvent::complete("execute", "task", idx as u32, t0, cycles.total())
-                .with_arg("node", task.node as u64)
-                .with_arg("memory", cycles.memory)
-                .with_arg("fence", cycles.fence)
-                .with_arg("branch", cycles.branch)
-        });
-
-        // ---- enqueue follow-up tasks (with splitting) ----
-        for p in 0..scratch.ctx.pushes().len() {
-            let pushed = scratch.ctx.pushes()[p];
-            scratch.parts.clear();
-            match split_threshold {
-                Some(th) => {
-                    let degree = graph.out_degree(pushed.node);
-                    split_task_into(pushed, degree, th, &mut scratch.parts);
-                }
-                None => scratch.parts.push(pushed),
-            }
-            for i in 0..scratch.parts.len() {
-                let part = scratch.parts[i];
-                let at = clock[idx];
-                let cost = sched.enqueue(idx, part, at, mem);
-                clock[idx] += cost;
-                accounting.charge(idx, CycleBin::Worklist, cost);
-                tracer.emit(|| {
-                    TraceEvent::complete("enqueue", "sched", idx as u32, at, cost)
-                        .with_arg("node", part.node as u64)
-                });
-            }
-        }
-
-        report.tasks += 1;
-        tracer.emit(|| {
-            TraceEvent::instant("retire", "task", idx as u32, clock[idx])
-                .with_arg("node", task.node as u64)
-        });
-        if report.tasks >= cfg.task_limit {
-            report.timed_out = true;
-            break 'outer;
-        }
-        ready.push(Reverse((clock[idx], idx)));
-    }
+    // Drive the spine to completion: serially for `front <= 1`, otherwise
+    // relayed across `front` threads that own contiguous core blocks.
+    let ExecSpine {
+        sched,
+        mem,
+        mut accounting,
+        clock,
+        counters,
+        mut report,
+        ..
+    } = front::relay_run(spine, plan.front);
 
     // End of simulation: settle every outstanding fetch and bring the
     // fabric home before any stats are read.

@@ -306,6 +306,15 @@ impl MemoryHierarchy {
         matches!(self.fabric, Fabric::Threaded(_))
     }
 
+    /// Weave lane threads currently serving the shared fabric (`0` on the
+    /// serial inline path). Executors report this as `lane_threads_used`.
+    pub fn weave_lanes(&self) -> usize {
+        match &self.fabric {
+            Fabric::Threaded(client) => client.lanes(),
+            _ => 0,
+        }
+    }
+
     /// Barrier: blocks until every recorded shared fetch has been replayed
     /// by the weave, parks the results for their consumers, and rewrites
     /// deferred prefetch arrival times. No-op on the inline path.

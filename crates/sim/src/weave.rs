@@ -425,10 +425,26 @@ pub(crate) struct WeaveClient {
 }
 
 impl WeaveClient {
+    /// Weave lane threads this client spawned.
+    pub fn lanes(&self) -> usize {
+        self.lane_txs.len()
+    }
+
     /// Shards `fabric` across `lanes` weave threads. `max_inflight` bounds
     /// how many fetches may be outstanding before the front must drain
     /// (flow control only — the value never affects simulated outcomes,
     /// and neither does `lanes`).
+    ///
+    /// Tickets are dispensed at *issue* time, on whichever host thread
+    /// calls [`WeaveClient::issue`] — under the front-sharded executor
+    /// that is whichever front shard currently holds the relayed spine.
+    /// The dispatcher's canonical order is the executor's
+    /// `(simulated_clock, core_id)` heap order, **not** host arrival
+    /// order: because exactly one shard holds the spine at a time and
+    /// shards issue in heap order, tickets are pre-assigned
+    /// deterministically no matter which front thread reaches the fetch
+    /// first, and the deferred NoC/DRAM stats fold in the same canonical
+    /// `seq` order at every drain.
     pub fn spawn(fabric: SharedFabric, max_inflight: usize, lanes: usize) -> Self {
         assert!(
             fabric.supports_sharding(),

@@ -19,7 +19,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use minnow::bench::cli::ArgStream;
+use minnow::bench::cli::{validate_point_budget, ArgStream};
 use minnow::explore::{
     explore, write_frontier_artifacts, ExploreConfig, ExploreOutcome, Space, Strategy,
 };
@@ -43,6 +43,7 @@ struct Args {
     threads: Option<usize>,
     point_threads: usize,
     pin_point_threads: bool,
+    front_shards: Option<usize>,
     out: String,
     max_evals: Option<usize>,
 }
@@ -68,6 +69,10 @@ options:
   --pin-point-threads
                    disable the adaptive fallback: always shard when
                    --point-threads >= 2 (outcomes identical either way)
+  --front-shards N split each point's --point-threads budget: N front
+                   threads over the simulated cores, the rest as weave
+                   lanes (requires --point-threads >= 2; outcomes are
+                   identical for every split)
   --out DIR        artifact + journal directory
                    (default target/minnow-explore)
   --max-evals N    run at most N fresh simulations, then checkpoint and
@@ -96,6 +101,7 @@ fn parse_args() -> Result<Args, String> {
         threads: None,
         point_threads: 1,
         pin_point_threads: false,
+        front_shards: None,
         out: "target/minnow-explore".into(),
         max_evals: None,
     };
@@ -116,6 +122,9 @@ fn parse_args() -> Result<Args, String> {
                 args.point_threads = argv.parse_at_least("--point-threads", 1)? as usize
             }
             "--pin-point-threads" => args.pin_point_threads = true,
+            "--front-shards" => {
+                args.front_shards = Some(argv.parse_at_least("--front-shards", 1)? as usize)
+            }
             "--out" => args.out = argv.value("--out")?,
             "--max-evals" => args.max_evals = Some(argv.parse::<u64>("--max-evals")? as usize),
             other if !other.starts_with('-') && args.space.is_none() => {
@@ -129,6 +138,11 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.space.is_some() && args.space_file.is_some() {
         return Err("give either a space name or --space-file, not both".into());
+    }
+    if let Some(warning) =
+        validate_point_budget(Some(args.point_threads), args.front_shards, args.pin_point_threads)?
+    {
+        eprintln!("{warning}");
     }
     Ok(args)
 }
@@ -225,6 +239,7 @@ fn main() -> ExitCode {
         pool_threads: args.threads.unwrap_or_else(minnow::bench::sweep_threads),
         point_threads: args.point_threads,
         pin_point_threads: args.pin_point_threads,
+        front_shards: args.front_shards,
         max_fresh_evals: args.max_evals,
         journal_path,
         verbose: args.verbose,

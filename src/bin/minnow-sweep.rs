@@ -20,7 +20,7 @@
 
 use std::process::ExitCode;
 
-use minnow_bench::cli::{write_with_parents, ArgStream};
+use minnow_bench::cli::{validate_point_budget, write_with_parents, ArgStream};
 use minnow_bench::runner::InputSpec;
 use minnow_bench::sweep::{run_sweep, IngestStats, Sweep, SweepConfig, SweepParams};
 use minnow_graph::image::LoadMode;
@@ -34,6 +34,7 @@ struct Args {
     threads: Option<usize>,
     point_threads: Option<usize>,
     pin_point_threads: bool,
+    front_shards: Option<usize>,
     filter: Option<String>,
     out: String,
     scale: Option<f64>,
@@ -69,6 +70,14 @@ options:
                   --point-threads >= 2, even for tiny workloads or on
                   narrow hosts (determinism testing; outcomes are
                   identical either way)
+  --front-shards N
+                  split each point's --point-threads budget explicitly:
+                  N front threads own contiguous blocks of simulated
+                  cores (relaying the simulation spine on the epoch
+                  min-clock), the rest serve as weave lanes. Requires
+                  --point-threads >= 2 and N within the budget. Default:
+                  the planner splits the budget evenly. Artifacts are
+                  byte-identical for every split
   --filter STR    run only points whose id contains STR
   --out DIR       artifact directory (default target/minnow-sweep)
   --scale X       input scale factor (default: MINNOW_BENCH_SCALE or 0.3)
@@ -113,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
         threads: None,
         point_threads: None,
         pin_point_threads: false,
+        front_shards: None,
         filter: None,
         out: "target/minnow-sweep".into(),
         scale: None,
@@ -136,6 +146,9 @@ fn parse_args() -> Result<Args, String> {
                 args.point_threads = Some(argv.parse_at_least("--point-threads", 1)? as usize)
             }
             "--pin-point-threads" => args.pin_point_threads = true,
+            "--front-shards" => {
+                args.front_shards = Some(argv.parse_at_least("--front-shards", 1)? as usize)
+            }
             "--filter" => args.filter = Some(argv.value("--filter")?),
             "--out" => args.out = argv.value("--out")?,
             "--scale" => args.scale = Some(argv.parse("--scale")?),
@@ -158,6 +171,11 @@ fn parse_args() -> Result<Args, String> {
     }
     if !args.list && args.sweep.is_none() {
         return Err("missing sweep name".into());
+    }
+    if let Some(warning) =
+        validate_point_budget(args.point_threads, args.front_shards, args.pin_point_threads)?
+    {
+        eprintln!("{warning}");
     }
     Ok(args)
 }
@@ -202,6 +220,7 @@ fn main() -> ExitCode {
         cfg.point_threads = pt;
     }
     cfg.pin_point_threads = args.pin_point_threads;
+    cfg.front_shards = args.front_shards;
     cfg.filter = args.filter.clone();
     cfg.trace = args.trace_out.is_some();
 

@@ -33,6 +33,7 @@ fn config(space: Space, strategy: Strategy, journal: PathBuf) -> ExploreConfig {
         pool_threads: 4,
         point_threads: 1,
         pin_point_threads: false,
+        front_shards: None,
         max_fresh_evals: None,
         journal_path: journal,
         verbose: false,

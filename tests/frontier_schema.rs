@@ -23,6 +23,7 @@ fn artifact() -> (String, String) {
         pool_threads: 4,
         point_threads: 1,
         pin_point_threads: false,
+        front_shards: None,
         max_fresh_evals: None,
         journal_path: dir.join("smoke.journal.jsonl"),
         verbose: false,

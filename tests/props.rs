@@ -649,6 +649,46 @@ proptest! {
         }
     }
 
+    /// Schedule fuzzing for the sharded front: random front/lane splits
+    /// of the point budget, epoch lengths, *and* injected per-front-
+    /// thread stalls (the test-only `MINNOW_FRONT_STALL_NS` hook delays
+    /// each front shard's baton receipt by a different amount) must
+    /// never change the golden fig16 makespans. Whatever real-time skew
+    /// the host scheduler adds, the turn relay hands the spine over in
+    /// canonical (clock, core) order.
+    #[test]
+    fn front_schedule_fuzzing_preserves_golden_makespans(
+        point_threads in 2usize..6,
+        front_pick in 1usize..6,
+        epoch in 1u64..200_000,
+        stall_ns in 0u64..3_000,
+    ) {
+        let front = front_pick.min(point_threads);
+        std::env::set_var("MINNOW_FRONT_STALL_NS", stall_ns.to_string());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for (id, run, golden) in weave_reference_points() {
+                let mut split = run.clone();
+                split.point_threads = point_threads;
+                split.pin_point_threads = true;
+                split.front_shards = Some(front);
+                split.weave_epoch = Some(epoch);
+                let report = split.execute();
+                assert_eq!(report.makespan, *golden,
+                    "{id}: budget {point_threads} front {front} epoch {epoch} \
+                     stall {stall_ns}ns changed the makespan");
+                assert_eq!(
+                    report.front_threads_used + report.lane_threads_used,
+                    point_threads,
+                    "{id}: the split must spend the whole pinned budget"
+                );
+            }
+        }));
+        std::env::remove_var("MINNOW_FRONT_STALL_NS");
+        if let Err(e) = outcome {
+            std::panic::resume_unwind(e);
+        }
+    }
+
     /// CSR construction round-trips an arbitrary edge list.
     #[test]
     fn csr_roundtrip(edges in prop::collection::vec((0u32..50, 0u32..50), 0..300)) {

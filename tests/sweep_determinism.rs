@@ -171,11 +171,15 @@ fn bench_document_schema_and_content() {
         // The simulated (stable) fields embedded in the bench document
         // must agree with the canonical artifact. Every point reports
         // the simulation mode it chose (`pt_used`: 1 = serial oracle,
-        // >1 = sharded bound-weave) right after its id.
+        // >1 = front shards + weave lanes) right after its id, followed
+        // by the front/lane split that budget divided into.
         assert!(
             bench.contains(&format!(
-                "\"id\":\"{}\",\"pt_used\":{},\"wall_us\":",
-                point.id, point.report.point_threads_used
+                "\"id\":\"{}\",\"pt_used\":{},\"pt_front_used\":{},\"pt_lane_used\":{},\"wall_us\":",
+                point.id,
+                point.report.point_threads_used,
+                point.report.front_threads_used,
+                point.report.lane_threads_used
             )),
             "point {} entry malformed",
             point.id
@@ -265,6 +269,92 @@ fn point_threads_never_change_fig16_artifacts() {
     );
     assert_eq!(serial.jsonl(), woven.jsonl());
     assert_eq!(serial.breakdown_jsonl(), woven.breakdown_jsonl());
+}
+
+/// The front+lane split contract: dividing a pinned `--point-threads`
+/// budget between front shards (simulated-core partitions relayed on
+/// the epoch min-clock) and weave lanes is invisible in every artifact.
+/// Every requested split — all-front (no lanes), all-default, and the
+/// mixtures between — matches the serial oracle byte for byte, and the
+/// per-point report accounts for the whole budget.
+#[test]
+fn front_shard_splits_never_change_any_artifact() {
+    let sweep = Sweep::smoke(&tiny_params());
+    let serial = run_sweep(&sweep, &SweepConfig::serial());
+    for (pt, front) in [(2, 1), (2, 2), (4, 1), (4, 2), (4, 4), (8, 4)] {
+        let split = run_sweep(
+            &sweep,
+            &SweepConfig::serial()
+                .with_point_threads(pt)
+                .with_pinned_point_threads()
+                .with_front_shards(front),
+        );
+        assert_eq!(
+            serial.jsonl(),
+            split.jsonl(),
+            "pt={pt} front={front} must be byte-identical to serial simulation"
+        );
+        assert_eq!(
+            serial.breakdown_jsonl(),
+            split.breakdown_jsonl(),
+            "pt={pt} front={front} perturbed the cycle-accounting artifact"
+        );
+        assert_eq!(
+            serial.breakdown_table(),
+            split.breakdown_table(),
+            "pt={pt} front={front} perturbed the breakdown table"
+        );
+        for point in &split.points {
+            let r = &point.report;
+            assert_eq!(
+                r.point_threads_used, pt,
+                "{}: a pinned budget must engage fully",
+                point.id
+            );
+            assert_eq!(
+                r.front_threads_used + r.lane_threads_used,
+                pt,
+                "{}: front {} + lanes {} must spend the whole pt={pt} budget",
+                point.id,
+                r.front_threads_used,
+                r.lane_threads_used
+            );
+            assert!(
+                r.front_threads_used >= 1,
+                "{}: at least one front shard always runs",
+                point.id
+            );
+        }
+    }
+}
+
+/// Same split contract over the golden fig16 sweep with the
+/// across-point pool active: the planner's front/lane division is an
+/// execution detail, never part of the simulated result.
+#[test]
+fn front_shard_splits_never_change_fig16_artifacts() {
+    let sweep = Sweep::fig16(&tiny_params());
+    let serial = run_sweep(&sweep, &SweepConfig::serial());
+    for front in [2, 4] {
+        let split = run_sweep(
+            &sweep,
+            &SweepConfig::serial()
+                .with_threads(2)
+                .with_point_threads(4)
+                .with_pinned_point_threads()
+                .with_front_shards(front),
+        );
+        assert_eq!(
+            serial.jsonl(),
+            split.jsonl(),
+            "front={front} diverged from the serial oracle on fig16"
+        );
+        assert_eq!(
+            serial.breakdown_jsonl(),
+            split.breakdown_jsonl(),
+            "front={front} perturbed fig16 cycle accounting"
+        );
+    }
 }
 
 /// Trace event streams are part of the determinism contract: traced
@@ -403,6 +493,28 @@ fn shard_matrix_is_byte_identical_for_every_workload_and_engine() {
             "pt={pt} perturbed cycle accounting on the engine matrix"
         );
     }
+    // The same oracle with the budget explicitly divided between front
+    // shards and weave lanes: every (budget, front) split leaves the
+    // full workload x engine matrix byte-identical too.
+    for (pt, front) in [(2, 2), (4, 2), (4, 4)] {
+        let split = run_sweep(
+            &sweep,
+            &SweepConfig::serial()
+                .with_point_threads(pt)
+                .with_pinned_point_threads()
+                .with_front_shards(front),
+        );
+        assert_eq!(
+            serial.jsonl(),
+            split.jsonl(),
+            "pt={pt} front={front} diverged from the serial oracle on the engine matrix"
+        );
+        assert_eq!(
+            serial.breakdown_jsonl(),
+            split.breakdown_jsonl(),
+            "pt={pt} front={front} perturbed cycle accounting on the engine matrix"
+        );
+    }
 }
 
 /// Adaptive serial fallback: a workload below the weave threshold run
@@ -428,6 +540,11 @@ fn small_workloads_fall_back_to_the_serial_path() {
         sweep.points.len(),
         "every smoke point should fall back to serial: {bench}"
     );
+    assert_eq!(
+        bench.matches("\"pt_front_used\":1,\"pt_lane_used\":0,").count(),
+        sweep.points.len(),
+        "serial fallback must report a 1-front/0-lane split: {bench}"
+    );
     for point in &adaptive.points {
         assert_eq!(
             point.report.point_threads_used, 1,
@@ -452,10 +569,24 @@ fn small_workloads_fall_back_to_the_serial_path() {
     run.point_threads = 8;
     let fallback = run.execute();
     assert_eq!(fallback.point_threads_used, 1);
+    assert_eq!(fallback.front_threads_used, 1);
+    assert_eq!(fallback.lane_threads_used, 0);
+    // A requested front split falls back along with the budget.
+    run.front_shards = Some(4);
+    let split_fallback = run.execute();
+    assert_eq!(split_fallback.point_threads_used, 1);
+    assert_eq!(split_fallback.front_threads_used, 1);
+    run.front_shards = None;
     run.pin_point_threads = true;
     let pinned = run.execute();
     assert_eq!(pinned.point_threads_used, 8);
+    assert_eq!(
+        pinned.front_threads_used + pinned.lane_threads_used,
+        8,
+        "a pinned budget must be fully divided between front and lanes"
+    );
     assert_eq!(fingerprint(&fallback), fingerprint(&pinned));
+    assert_eq!(fingerprint(&fallback), fingerprint(&split_fallback));
     // The fixture must actually sit below the fallback threshold, or
     // the assertions above test nothing.
     let edges = minnow::algos::WorkloadKind::Bfs.input(0.03, run.seed).edges();
@@ -533,20 +664,22 @@ fn ingested_inputs_are_byte_identical_across_text_image_and_mmap_paths() {
     );
     assert_eq!(from_text.jsonl(), pooled.jsonl());
     // And so does the sharded bound-weave: a file-loaded graph simulated
-    // across 2 or 8 pinned shards matches the serial artifacts byte for
-    // byte.
-    for pt in [2usize, 8] {
-        let woven = run_sweep(
-            &sweep,
-            &SweepConfig::serial()
-                .with_point_threads(pt)
-                .with_pinned_point_threads()
-                .with_input(spec(&image_path, LoadMode::Auto)),
-        );
+    // across 2 or 8 pinned shards — with or without an explicit
+    // front/lane split of that budget — matches the serial artifacts
+    // byte for byte.
+    for (pt, front) in [(2usize, None), (8, None), (2, Some(2)), (8, Some(4))] {
+        let mut cfg = SweepConfig::serial()
+            .with_point_threads(pt)
+            .with_pinned_point_threads()
+            .with_input(spec(&image_path, LoadMode::Auto));
+        if let Some(front) = front {
+            cfg = cfg.with_front_shards(front);
+        }
+        let woven = run_sweep(&sweep, &cfg);
         assert_eq!(
             from_text.jsonl(),
             woven.jsonl(),
-            "pt={pt} diverged on a file-loaded graph"
+            "pt={pt} front={front:?} diverged on a file-loaded graph"
         );
         assert_eq!(from_text.breakdown_jsonl(), woven.breakdown_jsonl());
     }
