@@ -137,6 +137,10 @@ pub struct BenchRun {
     /// `minnow_runtime::sim_exec::ExecConfig::front_shards`); `None` lets
     /// the planner split it. Outcome-neutral.
     pub front_shards: Option<usize>,
+    /// Speculative shard overlap toggle (see
+    /// `minnow_runtime::sim_exec::ExecConfig::speculate`); `None` defers to
+    /// `MINNOW_SPECULATE` and the on-by-default. Outcome-neutral.
+    pub speculate: Option<bool>,
 }
 
 impl BenchRun {
@@ -161,6 +165,7 @@ impl BenchRun {
             weave_inflight: None,
             pin_point_threads: false,
             front_shards: None,
+            speculate: None,
         }
     }
 
@@ -206,6 +211,7 @@ impl BenchRun {
         cfg.point_threads = self.point_threads.max(1);
         cfg.pin_point_threads = self.pin_point_threads;
         cfg.front_shards = self.front_shards;
+        cfg.speculate = self.speculate;
         if let Some(epoch) = self.weave_epoch {
             cfg.weave_epoch = epoch;
         }

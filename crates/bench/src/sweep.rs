@@ -335,6 +335,11 @@ pub struct SweepConfig {
     /// `None` lets the planner split the budget. Outcome-neutral: every
     /// artifact is byte-identical for every value.
     pub front_shards: Option<usize>,
+    /// Speculative shard overlap toggle (see
+    /// `minnow_runtime::sim_exec::ExecConfig::speculate`). `None` defers
+    /// to `MINNOW_SPECULATE` and the on-by-default. Outcome-neutral like
+    /// every other host-threading knob.
+    pub speculate: Option<bool>,
 }
 
 impl SweepConfig {
@@ -348,6 +353,7 @@ impl SweepConfig {
             input: None,
             pin_point_threads: false,
             front_shards: None,
+            speculate: None,
         }
     }
 
@@ -362,6 +368,7 @@ impl SweepConfig {
             input: None,
             pin_point_threads: false,
             front_shards: None,
+            speculate: None,
         }
     }
 
@@ -382,6 +389,13 @@ impl SweepConfig {
     /// [`SweepConfig::front_shards`]).
     pub fn with_front_shards(mut self, front: usize) -> Self {
         self.front_shards = Some(front);
+        self
+    }
+
+    /// Same configuration with the speculation toggle pinned (see
+    /// [`SweepConfig::speculate`]).
+    pub fn with_speculate(mut self, on: bool) -> Self {
+        self.speculate = Some(on);
         self
     }
 
@@ -494,6 +508,9 @@ pub struct SweepResult {
     /// hosts where the adaptive planner fell back to the serial path
     /// (volatile, like `point_threads`).
     pub front_shards: Option<usize>,
+    /// Requested speculation toggle, echoed into the bench document
+    /// header (volatile, like `front_shards`).
+    pub speculate: Option<bool>,
     /// Wall-clock duration of the whole sweep (volatile).
     pub wall: Duration,
     /// Selected points left unexecuted because [`SweepHooks::cancel`]
@@ -563,6 +580,7 @@ pub fn run_sweep_observed(sweep: &Sweep, cfg: &SweepConfig, hooks: &SweepHooks) 
                     run.point_threads = cfg.point_threads.max(1);
                     run.pin_point_threads = cfg.pin_point_threads;
                     run.front_shards = cfg.front_shards;
+                    run.speculate = cfg.speculate;
                     if cfg.input.is_some() {
                         run.input = cfg.input.clone();
                     }
@@ -608,6 +626,7 @@ pub fn run_sweep_observed(sweep: &Sweep, cfg: &SweepConfig, hooks: &SweepHooks) 
         pool_threads: pool,
         point_threads: cfg.point_threads.max(1),
         front_shards: cfg.front_shards,
+        speculate: cfg.speculate,
         wall: t0.elapsed(),
         skipped,
     }
@@ -760,12 +779,23 @@ impl SweepResult {
             }
         };
         let points = crate::json::array(self.points.iter().map(|p| {
+            let hold = crate::json::array(
+                p.report.front_hold_us.iter().map(|us| us.to_string()),
+            );
+            let wait = crate::json::array(
+                p.report.front_wait_us.iter().map(|us| us.to_string()),
+            );
             JsonObject::new()
                 .str("id", &p.id)
                 .u64("pt_used", p.report.point_threads_used as u64)
                 .u64("pt_front_used", p.report.front_threads_used as u64)
                 .u64("pt_lane_used", p.report.lane_threads_used as u64)
                 .u64("wall_us", p.wall.as_micros() as u64)
+                .u64("spec_attempts", p.report.spec_attempts)
+                .u64("spec_commits", p.report.spec_commits)
+                .u64("spec_rollbacks", p.report.spec_rollbacks)
+                .raw("front_hold_us", &hold)
+                .raw("front_wait_us", &wait)
                 .u64("tasks", p.report.tasks)
                 .u64("mem_accesses", p.report.mem_accesses)
                 .u64("makespan", p.report.makespan)
@@ -786,6 +816,9 @@ impl SweepResult {
             .u64("point_threads", self.point_threads as u64);
         if let Some(front) = self.front_shards {
             obj = obj.u64("front_shards", front as u64);
+        }
+        if let Some(spec) = self.speculate {
+            obj = obj.u64("speculate", spec as u64);
         }
         obj.u64("wall_ms", self.wall.as_millis() as u64)
             .u64("total_tasks", tasks)

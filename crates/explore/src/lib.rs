@@ -67,6 +67,9 @@ pub struct ExploreConfig {
     /// Explicit front-shard count within each point's `point_threads`
     /// budget (see `minnow_bench::sweep::SweepConfig::front_shards`).
     pub front_shards: Option<usize>,
+    /// Speculative shard overlap toggle (see
+    /// `minnow_bench::sweep::SweepConfig::speculate`); outcome-neutral.
+    pub speculate: Option<bool>,
     /// Budget of *fresh* simulations this invocation may run; `None`
     /// is unbounded. Cached journal hits are always free. The budget
     /// selects a prefix of pending evaluations in enumeration order,
@@ -221,6 +224,7 @@ fn simulate(cfg: &ExploreConfig, configs: &[ConfigPoint], chunk: &[EvalKey]) -> 
         .with_point_threads(cfg.point_threads.max(1));
     sweep_cfg.pin_point_threads = cfg.pin_point_threads;
     sweep_cfg.front_shards = cfg.front_shards;
+    sweep_cfg.speculate = cfg.speculate;
     let narrate = |p: &PointResult| {
         eprintln!(
             "[explore]   {} makespan {} tasks {} ({} ms)",
@@ -298,6 +302,7 @@ mod tests {
             point_threads: 1,
             pin_point_threads: false,
             front_shards: None,
+            speculate: None,
             max_fresh_evals: None,
             journal_path: path.clone(),
             verbose: false,
@@ -350,6 +355,7 @@ mod tests {
             point_threads: 1,
             pin_point_threads: false,
             front_shards: None,
+            speculate: None,
             max_fresh_evals: None,
             journal_path: path.clone(),
             verbose: false,
@@ -383,6 +389,7 @@ mod tests {
             point_threads: 1,
             pin_point_threads: false,
             front_shards: None,
+            speculate: None,
             max_fresh_evals: Some(1),
             journal_path: base.clone(),
             verbose: false,

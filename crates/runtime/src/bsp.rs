@@ -100,11 +100,17 @@ pub fn run_bsp(op: &mut dyn Operator, cfg: &BspConfig) -> RunReport {
     assert!(cfg.threads >= 1, "need at least one thread");
     let mut mem = MemoryHierarchy::new(&cfg.sim);
     mem.set_tracer(cfg.tracer.clone());
-    let lanes = crate::sim_exec::plan_weave_lanes(
+    // The BSP engine never front-shards (see `front_threads_used` below),
+    // so the whole `point_threads` budget goes to weave lanes: pin the
+    // front side of the split to 1 and take the lane count.
+    let lanes = crate::sim_exec::plan_point_split(
         cfg.point_threads,
+        Some(1),
         cfg.pin_point_threads,
         op.graph().edges(),
-    );
+        1,
+    )
+    .lanes;
     let mut weave = false;
     if lanes > 0 {
         // Bound-weave mode (refused under tracing — traced points stay on
@@ -146,9 +152,14 @@ pub fn run_bsp(op: &mut dyn Operator, cfg: &BspConfig) -> RunReport {
         // The BSP engine's charge order is round-robin within a
         // superstep, not the canonical `(clock, core)` order, so it
         // never front-shards: the full `point_threads` budget goes to
-        // weave lanes via `plan_weave_lanes`.
+        // weave lanes via the pinned-front point split above.
         front_threads_used: 1,
         lane_threads_used: if weave { lanes } else { 0 },
+        spec_attempts: 0,
+        spec_commits: 0,
+        spec_rollbacks: 0,
+        front_hold_us: Vec::new(),
+        front_wait_us: Vec::new(),
         accounting: CycleAccounting::new(0),
     };
     let mut now: Cycle = 0;

@@ -37,6 +37,26 @@
 //! happen at core-ownership boundaries in the heap order; a shard keeps
 //! the baton for as long as consecutive pops stay inside its core block.
 //!
+//! # Speculative shard overlap (`--speculate`)
+//!
+//! The relay buys cache-warm core ownership but zero concurrency: exactly
+//! one shard runs at a time. Speculation overlaps shards by exploiting the
+//! private/shared state split the codebase already enforces. While the
+//! holder drives the spine, an idle shard pre-executes the **private
+//! prefix** of its own next task in canonical `(clock, core)` order:
+//! ready-heap peek ([`crate::sched::SchedulerModel::peek_dequeue`]) and
+//! operator execution with every functional write journaled
+//! ([`crate::op::Operator::execute_spec`]) — everything up to the first
+//! shared-fabric touch or scheduler mutation. The result is parked on a
+//! [`SpecBoard`] slot. When the holder's canonical order reaches that
+//! shard's core, it **validates** the record (same task, same clock, and no
+//! committed task has written a cache line the speculation read since its
+//! snapshot epoch) and **commits** the pre-recorded trace through the
+//! normal charging path — or discards it and replays from scratch. Either
+//! way every simulated outcome is byte-identical to the serial oracle; the
+//! only things speculation can change are host wall-clock and the
+//! volatile attempt/commit/rollback counters.
+//!
 //! # Fault injection
 //!
 //! `MINNOW_FRONT_STALL_NS` (test-only, mirrors `MINNOW_SHARD_STALL_NS` on
@@ -45,7 +65,17 @@
 //! without touching simulated time — the schedule-fuzz proptests drive it
 //! to show outcomes never depend on host timing.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Mutex, RwLock};
+use std::time::Instant;
+
+use minnow_graph::AddressMap;
+use minnow_sim::cycles::Cycle;
+
+use crate::op::{Operator, TaskCtx};
+use crate::sched::SchedulerModel;
+use crate::task::Task;
 
 /// What the spine reports after processing one canonical-order step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +120,269 @@ fn front_stall_ns() -> u64 {
         .unwrap_or(0)
 }
 
+/// Shared-read cell the speculating shards access the operator through:
+/// readers pre-execute task prefixes concurrently while the spine holder
+/// takes the write lock for real execution and journal commits.
+pub type OpCell<'a> = RwLock<&'a mut (dyn Operator + 'a)>;
+
+/// Exclusive cell for the scheduler: speculating shards briefly lock it to
+/// peek their next dispatch; the holder locks it per spine operation.
+/// Uncontended lock/unlock is nanoseconds against multi-hundred-cycle
+/// simulated operations, so the serial path cost is noise.
+pub type SchedCell<'a> = Mutex<&'a mut (dyn SchedulerModel + 'a)>;
+
+/// One captured speculation: shard `shard_of(core)` pre-executed `task`
+/// (peeked as core `core`'s dispatch at `clock`) into `ctx` while the
+/// committed step sequence stood at `snapshot`.
+#[derive(Debug)]
+pub struct SpecRecord {
+    /// Simulated core the speculation was peeked for.
+    pub core: usize,
+    /// The core's ready clock at peek time.
+    pub clock: Cycle,
+    /// Value of [`SpecBoard`]'s step sequence when the peek was taken; any
+    /// line written by a later-committed task invalidates the record.
+    pub snapshot: u64,
+    /// The peeked task.
+    pub task: Task,
+    /// The pre-recorded trace + journaled functional writes.
+    pub ctx: TaskCtx,
+}
+
+/// One shard's parking spot for a captured speculation. The peer is the
+/// only arm-er and the holder the only disarm-er, so the `armed` flag never
+/// ABAs: `arm` publishes with `Release` after the record is in the mutex,
+/// `take_armed` claims with an `Acquire` swap before locking it.
+#[derive(Debug)]
+struct SpecSlot {
+    armed: AtomicBool,
+    rec: Mutex<Option<SpecRecord>>,
+}
+
+/// The coordination board between the spine holder and speculating shards.
+///
+/// Everything on it is host-side synchronization state — none of it is
+/// simulated state, so it can be dropped or ignored without changing any
+/// artifact.
+#[derive(Debug)]
+pub struct SpecBoard {
+    /// Mirror of each simulated core's ready clock, published by the holder
+    /// at the end of every spine step (`Release`; peers read `Acquire`).
+    clocks: Vec<AtomicU64>,
+    /// Count of committed spine steps. The holder stores it (`Release`)
+    /// *after* releasing the operator write lock for a step, so a peer that
+    /// `Acquire`-reads value `k` is guaranteed to observe all functional
+    /// state written by tasks `<= k`. A stale (low) read can only cause a
+    /// false rollback, never a false commit.
+    step_seq: AtomicU64,
+    /// Holder → peers: the run is over.
+    stop: AtomicBool,
+    /// Speculations armed by peers (volatile, reporting only).
+    attempts: AtomicU64,
+    /// Per-shard slots; slot 0 (the holder's own shard) is never used.
+    slots: Vec<SpecSlot>,
+    /// Per-peer-shard speculation-work wall time (reporting only).
+    hold_us: Vec<AtomicU64>,
+    /// Per-peer-shard idle/backoff wall time (reporting only).
+    wait_us: Vec<AtomicU64>,
+}
+
+impl SpecBoard {
+    /// A fresh board for `cores` simulated cores across `front` shards.
+    pub fn new(cores: usize, front: usize) -> Self {
+        SpecBoard {
+            clocks: (0..cores).map(|_| AtomicU64::new(0)).collect(),
+            step_seq: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            attempts: AtomicU64::new(0),
+            slots: (0..front)
+                .map(|_| SpecSlot {
+                    armed: AtomicBool::new(false),
+                    rec: Mutex::new(None),
+                })
+                .collect(),
+            hold_us: (0..front).map(|_| AtomicU64::new(0)).collect(),
+            wait_us: (0..front).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Holder: publishes core `core`'s ready clock after a spine step.
+    #[inline]
+    pub fn publish_clock(&self, core: usize, clock: Cycle) {
+        self.clocks[core].store(clock, Ordering::Release);
+    }
+
+    /// Holder: publishes the committed step count. Must be called *after*
+    /// the step's operator mutations are unlocked (see field docs).
+    #[inline]
+    pub fn publish_step_seq(&self, seq: u64) {
+        self.step_seq.store(seq, Ordering::Release);
+    }
+
+    /// Peer: the committed step count at or before this instant.
+    #[inline]
+    pub fn read_step_seq(&self) -> u64 {
+        self.step_seq.load(Ordering::Acquire)
+    }
+
+    /// Whether shard `shard` currently has a speculation parked.
+    #[inline]
+    pub fn is_armed(&self, shard: usize) -> bool {
+        self.slots[shard].armed.load(Ordering::Acquire)
+    }
+
+    /// Peer: parks a captured speculation on its own slot.
+    pub fn arm(&self, shard: usize, rec: SpecRecord) {
+        let slot = &self.slots[shard];
+        *slot.rec.lock().unwrap() = Some(rec);
+        slot.armed.store(true, Ordering::Release);
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Holder: claims shard `shard`'s parked speculation, if any.
+    pub fn take_armed(&self, shard: usize) -> Option<SpecRecord> {
+        let slot = &self.slots[shard];
+        if slot.armed.swap(false, Ordering::Acquire) {
+            slot.rec.lock().unwrap().take()
+        } else {
+            None
+        }
+    }
+
+    /// Holder: tells every speculating shard to exit.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Peer: whether the run is over.
+    #[inline]
+    pub fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Total speculations peers armed (volatile, reporting only).
+    pub fn attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Peer: records its wall-time split at exit (reporting only).
+    fn record_peer_times(&self, shard: usize, hold_us: u64, wait_us: u64) {
+        self.hold_us[shard].store(hold_us, Ordering::Relaxed);
+        self.wait_us[shard].store(wait_us, Ordering::Relaxed);
+    }
+
+    /// Per-shard `(hold_us, wait_us)` pairs recorded by exited peers.
+    pub fn peer_times(&self) -> Vec<(u64, u64)> {
+        self.hold_us
+            .iter()
+            .zip(&self.wait_us)
+            .map(|(h, w)| (h.load(Ordering::Relaxed), w.load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+/// One speculating shard's service loop: repeatedly find the owned core
+/// the canonical order will reach next (argmin of the published clock
+/// mirror), peek its dequeue, pre-execute the task's private prefix with
+/// writes journaled, and park the record for the holder. Runs until
+/// [`SpecBoard::stop`].
+///
+/// Lock discipline: the scheduler and operator cells are each taken
+/// briefly and never nested, and the holder's spine step also never nests
+/// them — so the speculating shards cannot deadlock the spine, only
+/// slightly delay individual lock acquisitions.
+#[allow(clippy::too_many_arguments)]
+pub fn spec_server(
+    me: usize,
+    cores: usize,
+    front: usize,
+    op: &OpCell<'_>,
+    sched: &SchedCell<'_>,
+    board: &SpecBoard,
+    map: AddressMap,
+    count_atomics_as_stores: bool,
+) {
+    debug_assert!(me > 0, "shard 0 holds the spine and never speculates");
+    // On a host with fewer cores than front threads, every cycle this
+    // peer burns is stolen from the spine holder it shares a core with:
+    // throttle the duty cycle way down so speculation stays a strict
+    // win (a starved peer still arms plenty of records over a full run,
+    // it just never competes with the holder for the CPU or the locks).
+    let starved =
+        std::thread::available_parallelism().map_or(1, |n| n.get()) < front + 1;
+    let (armed_nap, idle_nap) = if starved { (1000, 2000) } else { (20, 20) };
+    let mut held = 0u64;
+    let mut waited = 0u64;
+    let mut ctx = TaskCtx::new(map, count_atomics_as_stores);
+    while !board.stopped() {
+        if board.is_armed(me) {
+            // Our record is parked; nothing to do until the holder claims
+            // it. Nap briefly instead of spinning on the shared flag.
+            let nap = Instant::now();
+            std::thread::sleep(std::time::Duration::from_micros(armed_nap));
+            waited += nap.elapsed().as_micros() as u64;
+            continue;
+        }
+        let t0 = Instant::now();
+        // The canonical order within this shard's block: smallest
+        // (clock, core) wins, exactly like the dispatcher's min-heap.
+        let mut best: Option<(Cycle, usize)> = None;
+        for core in 0..cores {
+            if shard_of(core, cores, front) != me {
+                continue;
+            }
+            let clock = board.clocks[core].load(Ordering::Acquire);
+            if best.is_none_or(|b| (clock, core) < b) {
+                best = Some((clock, core));
+            }
+        }
+        let Some((clock, core)) = best else {
+            break; // unreachable: every shard owns at least one core
+        };
+        // Snapshot BEFORE peeking: any commit that lands between the
+        // snapshot and our reads stamps its lines above it, forcing a
+        // rollback rather than a stale commit.
+        let snapshot = board.read_step_seq();
+        let peeked = sched.lock().unwrap().peek_dequeue(core, clock);
+        let mut armed = false;
+        if let Some(task) = peeked {
+            ctx.reset();
+            let captured = op.read().unwrap().execute_spec(task, &mut ctx);
+            if captured {
+                let rec = SpecRecord {
+                    core,
+                    clock,
+                    snapshot,
+                    task,
+                    ctx: std::mem::replace(
+                        &mut ctx,
+                        TaskCtx::new(map, count_atomics_as_stores),
+                    ),
+                };
+                board.arm(me, rec);
+                armed = true;
+            }
+        }
+        held += t0.elapsed().as_micros() as u64;
+        if !armed {
+            // Nothing speculable right now (empty worklist, non-spec
+            // operator, or refill-dependent dequeue): back off so the
+            // holder's lock acquisitions stay uncontended.
+            let nap = Instant::now();
+            std::thread::sleep(std::time::Duration::from_micros(idle_nap));
+            waited += nap.elapsed().as_micros() as u64;
+        } else if starved {
+            // Rate-limit even successful speculation on a starved host:
+            // the spine consumes records far faster than this shared
+            // core can produce them, so producing fewer is pure profit.
+            let nap = Instant::now();
+            std::thread::sleep(std::time::Duration::from_micros(armed_nap));
+            waited += nap.elapsed().as_micros() as u64;
+        }
+    }
+    board.record_peer_times(me, held, waited);
+}
+
 /// The baton passed between shards: the live spine, or a quit signal
 /// broadcast once some shard observes termination.
 enum Baton<S> {
@@ -97,17 +390,40 @@ enum Baton<S> {
     Quit,
 }
 
+/// Host wall-time split per front thread, measured by the relay (or by the
+/// speculative drive). Volatile by construction — it never appears in a
+/// deterministic artifact, only in the `minnow-bench-wallclock/v1` doc —
+/// and exists so overlap wins are attributable: a shard that holds the
+/// baton 90% of the wall has nothing for speculation to recover, one that
+/// waits 90% does.
+#[derive(Debug, Clone, Default)]
+pub struct RelayTelemetry {
+    /// Per-shard wall microseconds spent driving the spine (relay mode) or
+    /// doing speculative work (speculation mode, peers).
+    pub hold_us: Vec<u64>,
+    /// Per-shard wall microseconds spent parked waiting for the baton
+    /// (relay mode) or backing off between speculations (speculation mode).
+    pub wait_us: Vec<u64>,
+}
+
 /// Drives `spine` to completion across `front` relay threads (the caller
-/// acts as shard 0) and hands it back. `front <= 1` runs the plain serial
-/// loop with no threads spawned. The step sequence — and therefore every
-/// simulated outcome — is identical for every `front`; only host-side
-/// locality and wall-clock change.
-pub fn relay_run<S: FrontSpine>(mut spine: S, front: usize) -> S {
+/// acts as shard 0) and hands it back with per-shard hold/wait telemetry.
+/// `front <= 1` runs the plain serial loop with no threads spawned. The
+/// step sequence — and therefore every simulated outcome — is identical
+/// for every `front`; only host-side locality and wall-clock change.
+pub fn relay_run<S: FrontSpine>(mut spine: S, front: usize) -> (S, RelayTelemetry) {
     let cores = spine.cores();
     let front = front.clamp(1, cores.max(1));
     if front <= 1 {
+        let t0 = Instant::now();
         while spine.step() != FrontStep::Done {}
-        return spine;
+        return (
+            spine,
+            RelayTelemetry {
+                hold_us: vec![t0.elapsed().as_micros() as u64],
+                wait_us: vec![0],
+            },
+        );
     }
 
     let stall_ns = front_stall_ns();
@@ -123,25 +439,36 @@ pub fn relay_run<S: FrontSpine>(mut spine: S, front: usize) -> S {
         rxs.push(rx);
     }
     let (res_tx, res_rx) = sync_channel::<S>(1);
+    let hold: Vec<AtomicU64> = (0..front).map(|_| AtomicU64::new(0)).collect();
+    let wait: Vec<AtomicU64> = (0..front).map(|_| AtomicU64::new(0)).collect();
 
     // One shard's relay loop: park for the baton, run the spine while
     // consecutive canonical steps stay inside this shard's core block,
     // hand off at an ownership boundary, broadcast Quit at termination.
     let work = |me: usize, rx: &Receiver<Baton<S>>, txs: &[SyncSender<Baton<S>>]| {
-        while let Ok(baton) = rx.recv() {
+        let mut held_us = 0u64;
+        let mut waited_us = 0u64;
+        'relay: loop {
+            let park = Instant::now();
+            let Ok(baton) = rx.recv() else {
+                break 'relay;
+            };
+            waited_us += park.elapsed().as_micros() as u64;
             let Baton::Work(mut spine) = baton else {
-                return;
+                break 'relay;
             };
             if stall_ns > 0 {
                 std::thread::sleep(std::time::Duration::from_nanos(
                     stall_ns.saturating_mul(me as u64 + 1),
                 ));
             }
+            let t0 = Instant::now();
             loop {
                 match spine.step() {
                     FrontStep::Yield { core } => {
                         let owner = shard_of(core, cores, front);
                         if owner != me {
+                            held_us += t0.elapsed().as_micros() as u64;
                             txs[owner]
                                 .send(Baton::Work(spine))
                                 .expect("relay peer hung up mid-run");
@@ -149,6 +476,7 @@ pub fn relay_run<S: FrontSpine>(mut spine: S, front: usize) -> S {
                         }
                     }
                     FrontStep::Done => {
+                        held_us += t0.elapsed().as_micros() as u64;
                         for (s, tx) in txs.iter().enumerate() {
                             if s != me {
                                 let _ = tx.send(Baton::Quit);
@@ -157,11 +485,13 @@ pub fn relay_run<S: FrontSpine>(mut spine: S, front: usize) -> S {
                         res_tx
                             .send(spine)
                             .expect("relay caller hung up before the result");
-                        return;
+                        break 'relay;
                     }
                 }
             }
         }
+        hold[me].store(held_us, Ordering::Relaxed);
+        wait[me].store(waited_us, Ordering::Relaxed);
     };
 
     let mut rx_iter = rxs.into_iter();
@@ -180,7 +510,12 @@ pub fn relay_run<S: FrontSpine>(mut spine: S, front: usize) -> S {
         work(0, &rx0, &txs);
     });
 
-    res_rx.recv().expect("relay finished without returning the spine")
+    let spine = res_rx.recv().expect("relay finished without returning the spine");
+    let telemetry = RelayTelemetry {
+        hold_us: hold.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+        wait_us: wait.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+    };
+    (spine, telemetry)
 }
 
 #[cfg(test)]
@@ -245,9 +580,11 @@ mod tests {
         let steps = vec![0usize, 0, 3, 1, 2, 3, 0, 2, 1, 1, 3, 0];
         for front in [1usize, 2, 3, 4] {
             let spine = script(4, steps.clone());
-            let done = relay_run(spine, front);
+            let (done, telemetry) = relay_run(spine, front);
             let visited: Vec<usize> = done.visited.iter().map(|&(c, _)| c).collect();
             assert_eq!(visited, steps, "front={front} reordered the spine");
+            assert_eq!(telemetry.hold_us.len(), front.min(4));
+            assert_eq!(telemetry.wait_us.len(), front.min(4));
         }
     }
 
@@ -255,7 +592,7 @@ mod tests {
     fn each_step_runs_on_its_owning_shard() {
         // Cores 0..3 across 2 shards: {0,1} -> shard 0, {2,3} -> shard 1.
         let steps = vec![0usize, 2, 2, 1, 3, 0];
-        let done = relay_run(script(4, steps), 2);
+        let (done, _) = relay_run(script(4, steps), 2);
         let caller = std::thread::current().id();
         for &(core, tid) in &done.visited {
             if shard_of(core, 4, 2) == 0 {
@@ -269,16 +606,16 @@ mod tests {
     #[test]
     fn front_clamps_to_core_count() {
         // More shards than cores: clamps, still completes.
-        let done = relay_run(script(2, vec![0, 1, 0, 1]), 8);
+        let (done, _) = relay_run(script(2, vec![0, 1, 0, 1]), 8);
         assert_eq!(done.visited.len(), 4);
     }
 
     #[test]
     fn stall_injection_never_changes_the_sequence() {
         let steps: Vec<usize> = (0..40).map(|i| (i * 7 + 3) % 6).collect();
-        let clean = relay_run(script(6, steps.clone()), 3);
+        let (clean, _) = relay_run(script(6, steps.clone()), 3);
         std::env::set_var("MINNOW_FRONT_STALL_NS", "40000");
-        let stalled = relay_run(script(6, steps), 3);
+        let (stalled, _) = relay_run(script(6, steps), 3);
         std::env::remove_var("MINNOW_FRONT_STALL_NS");
         let a: Vec<usize> = clean.visited.iter().map(|&(c, _)| c).collect();
         let b: Vec<usize> = stalled.visited.iter().map(|&(c, _)| c).collect();

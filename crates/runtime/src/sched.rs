@@ -85,6 +85,15 @@ pub trait SchedulerModel: Send {
     fn dequeue(&mut self, thread: usize, now: Cycle, mem: &mut MemoryHierarchy)
         -> DequeueOutcome;
 
+    /// The exact task the next [`SchedulerModel::dequeue`] for `thread` at
+    /// `now` would return, without removing it, charging cycles, or touching
+    /// the hierarchy. The speculative front uses this to pre-execute a
+    /// shard's next task; `None` (the default) declines speculation, which
+    /// is always safe.
+    fn peek_dequeue(&self, _thread: usize, _now: Cycle) -> Option<Task> {
+        None
+    }
+
     /// Total tasks pending anywhere in the scheduler.
     fn pending(&self) -> usize;
 
@@ -240,6 +249,12 @@ impl SchedulerModel for SoftwareScheduler {
         }
         self.stats.op_cycles += cycles;
         DequeueOutcome { task, cost: cycles }
+    }
+
+    fn peek_dequeue(&self, _thread: usize, _now: Cycle) -> Option<Task> {
+        // `dequeue` pops the shared worklist regardless of the requesting
+        // thread or time, so the policy's own peek is exact.
+        self.worklist.peek()
     }
 
     fn pending(&self) -> usize {

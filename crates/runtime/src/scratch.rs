@@ -87,6 +87,21 @@ impl TaskScratch {
         self.last_key = Some((now, core));
         self.ctx.reset();
     }
+
+    /// Records the canonical dispatch key like
+    /// [`TaskScratch::begin_task_at`] but *without* resetting the recorder:
+    /// used when committing a validated speculation, whose pre-recorded
+    /// `TaskCtx` is swapped in wholesale instead of being re-recorded.
+    #[inline]
+    pub fn note_task_at(&mut self, now: Cycle, core: usize) {
+        debug_assert!(
+            self.last_key.is_none_or(|prev| prev <= (now, core)),
+            "canonical dispatch order violated: {:?} then {:?}",
+            self.last_key,
+            (now, core)
+        );
+        self.last_key = Some((now, core));
+    }
 }
 
 /// Counters [`charge_task`] accumulates for the run report.

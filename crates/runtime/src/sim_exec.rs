@@ -21,18 +21,20 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
+use fxhash::FxMap64;
 use minnow_graph::Csr;
 use minnow_sim::config::SimConfig;
 use minnow_sim::core::{CoreMode, CoreModel};
 use minnow_sim::cycles::Cycle;
-use minnow_sim::hierarchy::MemoryHierarchy;
+use minnow_sim::hierarchy::{AccessKind, MemoryHierarchy};
 use minnow_sim::observer::{HwPrefetcher, MemoryImage};
 use minnow_sim::stats::{CycleAccounting, CycleBin};
 use minnow_sim::trace::{TraceEvent, Tracer};
 
-use crate::front::{self, FrontSpine, FrontStep};
+use crate::front::{self, FrontSpine, FrontStep, OpCell, RelayTelemetry, SchedCell, SpecBoard};
 use crate::op::Operator;
 use crate::sched::{SchedStats, SchedulerModel, SoftwareScheduler};
 use crate::scratch::{charge_task, ChargeCounters, TaskScratch};
@@ -83,6 +85,16 @@ pub struct ExecConfig {
     /// `None` (the default) lets [`plan_point_split`] divide the budget.
     /// Outcome-neutral like every other host-threading knob.
     pub front_shards: Option<usize>,
+    /// Speculative shard overlap (see [`crate::front`]): idle front shards
+    /// pre-execute the private prefix of their next canonical task while
+    /// another shard holds the spine. `Some(b)` pins the toggle; `None`
+    /// defers to `MINNOW_SPECULATE` ("1"/"true"/"on" or "0"/"false"/"off")
+    /// and then to the default, which is *on* whenever the point plan has
+    /// two or more front shards. Outcome-neutral like every other
+    /// host-threading knob: validated speculations commit byte-identical
+    /// state through the normal charging path, everything else rolls back
+    /// and replays.
+    pub speculate: Option<bool>,
 }
 
 /// Default bound-weave epoch length (simulated cycles). Long enough that
@@ -99,34 +111,6 @@ pub const DEFAULT_WEAVE_INFLIGHT: usize = 4096;
 /// sweep (scale 0.03, ~20k edges — falls back) vs the fig16 bench sweep
 /// (scale 0.1, ~200k+ edges — shards).
 pub const MIN_WEAVE_EDGES: usize = 50_000;
-
-/// Plans how many weave lanes a point should use: `0` means run the serial
-/// inline path, `n >= 1` means front + `n` lane threads.
-///
-/// The adaptive serial fallback exists so `point_threads > 1` is never a
-/// wall-clock *regression*: tiny workloads and 1-core hosts gain nothing
-/// from sharding and would pay thread churn for it. `pinned` overrides the
-/// fallback (determinism suites must exercise the sharded path even where
-/// the heuristic would decline). The decision can only affect host wall
-/// clock — simulated outcomes are identical on every path.
-pub fn plan_weave_lanes(point_threads: usize, pinned: bool, edges: usize) -> usize {
-    if point_threads <= 1 {
-        return 0;
-    }
-    if pinned {
-        return point_threads - 1;
-    }
-    if edges < MIN_WEAVE_EDGES {
-        return 0;
-    }
-    let host = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    if host < 2 {
-        return 0;
-    }
-    (point_threads - 1).min(host - 1)
-}
 
 /// How a point's `--point-threads` host budget is divided between front
 /// shards (which own core groups and relay the simulation spine, see
@@ -162,12 +146,10 @@ impl PointPlan {
 /// The split: lanes and front shards each get half the budget by default
 /// (`front_override` pins the front side explicitly), with the front
 /// clamped to the simulated core count — a shard must own at least one
-/// core. The adaptive serial fallback is the same one
-/// [`plan_weave_lanes`] applies: unpinned plans decline to shard tiny
-/// workloads (< [`MIN_WEAVE_EDGES`]) or starved hosts, so
-/// `--point-threads` is never a wall-clock regression; `pinned` overrides
-/// it for determinism suites. Every plan is outcome-neutral — the choice
-/// moves host wall-clock only.
+/// core. The adaptive serial fallback declines to shard tiny workloads
+/// (< [`MIN_WEAVE_EDGES`]) or starved hosts, so `--point-threads` is never
+/// a wall-clock regression; `pinned` overrides it for determinism suites.
+/// Every plan is outcome-neutral — the choice moves host wall-clock only.
 pub fn plan_point_split(
     point_threads: usize,
     front_override: Option<usize>,
@@ -205,6 +187,36 @@ pub fn plan_point_split(
     }
 }
 
+/// Resolves the speculation toggle: an explicit config pin wins, then
+/// `MINNOW_SPECULATE`, then the default (on). The result only matters when
+/// the point plan ends up with >= 2 front shards.
+fn resolve_speculate(pinned: Option<bool>) -> bool {
+    if let Some(b) = pinned {
+        return b;
+    }
+    match std::env::var("MINNOW_SPECULATE").ok().as_deref() {
+        Some("1") | Some("true") | Some("on") => true,
+        Some("0") | Some("false") | Some("off") => false,
+        _ => true,
+    }
+}
+
+/// `MINNOW_SPEC_FORCE_ROLLBACK=N`: test-only injector that discards every
+/// Nth consumed speculation record regardless of validity. `0` (default)
+/// disables injection. Outcome-neutral: the rollback path replays.
+fn spec_force_rollback() -> u64 {
+    std::env::var("MINNOW_SPEC_FORCE_ROLLBACK")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// `MINNOW_SPEC_CHECK=1`: per-commit differential oracle on the private
+/// cache spec journal (see [`SpecDrive::check`]).
+fn spec_check_enabled() -> bool {
+    std::env::var("MINNOW_SPEC_CHECK").ok().as_deref() == Some("1")
+}
+
 impl ExecConfig {
     /// A scaled machine with the given thread count and paper-default knobs.
     pub fn new(threads: usize) -> Self {
@@ -221,6 +233,7 @@ impl ExecConfig {
             weave_inflight: DEFAULT_WEAVE_INFLIGHT,
             pin_point_threads: false,
             front_shards: None,
+            speculate: None,
         }
     }
 
@@ -307,6 +320,28 @@ pub struct RunReport {
     /// the fabric stayed inline. Reported as `pt_lane_used` in bench
     /// documents.
     pub lane_threads_used: usize,
+    /// Speculative prefixes armed by idle front shards. At least
+    /// `spec_commits + spec_rollbacks` — a record armed right as the run
+    /// drains is never consumed. Volatile host-side counter (depends on
+    /// host timing): reported only in the wall-clock bench document,
+    /// never in deterministic artifacts. `0` when speculation is off or
+    /// the run took the serial path.
+    pub spec_attempts: u64,
+    /// Armed speculations that validated against the committed step
+    /// sequence and were applied without re-execution. Volatile, like
+    /// [`RunReport::spec_attempts`].
+    pub spec_commits: u64,
+    /// Armed speculations discarded and re-executed from scratch (stale
+    /// peek, canonical-order mismatch, a cross-shard write since the
+    /// snapshot, or `MINNOW_SPEC_FORCE_ROLLBACK` injection). Volatile.
+    pub spec_rollbacks: u64,
+    /// Host wall microseconds each front thread spent driving the spine
+    /// (relay mode) or speculating (speculation mode). One entry per front
+    /// thread; `[whole-drive wall]` on the serial path. Volatile.
+    pub front_hold_us: Vec<u64>,
+    /// Host wall microseconds each front thread spent parked waiting for
+    /// the baton (relay mode) or backing off (speculation mode). Volatile.
+    pub front_wait_us: Vec<u64>,
     /// Closed per-core cycle accounting: every cycle of every core up
     /// to the makespan lands in exactly one [`CycleBin`]. The
     /// [`Breakdown`] is derived from it (busy bins only); this field
@@ -373,10 +408,18 @@ pub fn run(
 /// scheduler tick, dequeue (or idle poll, or termination), operator
 /// execution, hierarchy charge, enqueues — so the step sequence, and with
 /// it every simulated outcome, is identical for any front-shard count.
-struct ExecSpine<'a> {
-    op: &'a mut dyn Operator,
-    sched: &'a mut dyn SchedulerModel,
-    mem: &'a mut MemoryHierarchy,
+struct ExecSpine<'c, 'a> {
+    /// The operator behind the shared-read cell: speculating shards take
+    /// read locks to pre-execute prefixes, the spine holder takes the write
+    /// lock per real execution or journal commit. Uncontended on the
+    /// serial/relay paths. (`'c` is the local borrow of the cell — shorter
+    /// than the caller's `'a` borrows inside it, so the cells can be
+    /// consumed for their stats once the spine is done.)
+    op: &'c OpCell<'a>,
+    /// The scheduler behind its cell: peers briefly lock it to peek their
+    /// next dispatch, the holder locks it per spine operation.
+    sched: &'c SchedCell<'a>,
+    mem: &'c mut MemoryHierarchy,
     hw_prefetcher: Option<(&'a mut dyn HwPrefetcher, &'a dyn MemoryImage)>,
     core_model: CoreModel,
     graph: Arc<Csr>,
@@ -396,9 +439,38 @@ struct ExecSpine<'a> {
     scratch: TaskScratch,
     counters: ChargeCounters,
     report: RunReport,
+    /// Holder-side speculation state; `None` disables speculation (the
+    /// serial and relay paths).
+    spec: Option<SpecDrive<'c>>,
 }
 
-impl ExecSpine<'_> {
+/// The spine holder's half of the speculation protocol: the coordination
+/// board shared with the speculating shards, plus the holder-local write
+/// stamps that validation runs against.
+struct SpecDrive<'a> {
+    board: &'a SpecBoard,
+    /// Front shards in the plan (for [`front::shard_of`]).
+    front: usize,
+    /// Last committed step's sequence number per *written* cache line
+    /// (`addr >> 6`). A speculation whose read-set contains a line stamped
+    /// after its snapshot is stale and must roll back. Holder-local — only
+    /// the monotonically published `step_seq` crosses threads.
+    stamps: FxMap64<u64>,
+    /// Committed step count, mirrored to the board after every step.
+    seq: u64,
+    /// `MINNOW_SPEC_FORCE_ROLLBACK=N`: discard every Nth consumed record
+    /// regardless of validity (test-only fault injection; outcome-neutral
+    /// because the rollback path replays from scratch).
+    force_rollback: u64,
+    /// Consumed (committed + rolled back) records, for the injector.
+    consumed: u64,
+    /// `MINNOW_SPEC_CHECK=1`: before committing, replay the record's
+    /// accesses through the private-cache spec journal and assert the
+    /// rollback restores state bit-for-bit (differential oracle).
+    check: bool,
+}
+
+impl ExecSpine<'_, '_> {
     /// Peeks the heap top — the next canonical step's owning core.
     fn peek(&self) -> FrontStep {
         match self.ready.peek() {
@@ -408,7 +480,7 @@ impl ExecSpine<'_> {
     }
 }
 
-impl FrontSpine for ExecSpine<'_> {
+impl FrontSpine for ExecSpine<'_, '_> {
     fn cores(&self) -> usize {
         self.clock.len()
     }
@@ -427,14 +499,14 @@ impl FrontSpine for ExecSpine<'_> {
             self.mem.drain_weave();
             self.next_epoch = (now / self.epoch_len + 1) * self.epoch_len;
         }
-        self.sched.tick(now, self.mem);
+        self.sched.lock().unwrap().tick(now, self.mem);
 
-        let deq = self.sched.dequeue(idx, now, self.mem);
+        let deq = self.sched.lock().unwrap().dequeue(idx, now, self.mem);
         self.clock[idx] += deq.cost;
         self.accounting.charge(idx, CycleBin::Worklist, deq.cost);
 
         let Some(task) = deq.task else {
-            if self.sched.pending() == 0 {
+            if self.sched.lock().unwrap().pending() == 0 {
                 // No pending tasks and no thread is mid-task (tasks commit
                 // atomically at dequeue time): global termination.
                 return FrontStep::Done;
@@ -444,6 +516,9 @@ impl FrontSpine for ExecSpine<'_> {
             self.tracer
                 .emit(|| TraceEvent::complete("poll", "sched", idx as u32, at, poll));
             self.clock[idx] += poll;
+            if let Some(spec) = self.spec.as_ref() {
+                spec.board.publish_clock(idx, self.clock[idx]);
+            }
             self.ready.push(Reverse((self.clock[idx], idx)));
             return self.peek();
         };
@@ -453,8 +528,67 @@ impl FrontSpine for ExecSpine<'_> {
         });
 
         // ---- execute the task functionally, recording its trace ----
-        self.scratch.begin_task_at(now, idx);
-        self.op.execute(task, &mut self.scratch.ctx);
+        // With speculation on, a peer shard may have pre-executed exactly
+        // this dispatch. Validate its record against the canonical step and
+        // the committed write stamps; a valid record commits the
+        // pre-recorded trace (skipping re-execution), anything else is
+        // discarded and the task replays from scratch below. Both paths
+        // charge through the identical `charge_task` machinery, so the
+        // outcome is byte-identical either way.
+        let mut committed_spec = false;
+        if let Some(spec) = self.spec.as_mut() {
+            let shard = front::shard_of(idx, self.clock.len(), spec.front);
+            if shard > 0 {
+                if let Some(rec) = spec.board.take_armed(shard) {
+                    spec.consumed += 1;
+                    let forced =
+                        spec.force_rollback > 0 && spec.consumed % spec.force_rollback == 0;
+                    let valid = !forced
+                        && rec.core == idx
+                        && rec.clock == now
+                        && rec.task == task
+                        && rec.ctx.accesses().iter().all(|acc| {
+                            // The record's read-set is its first-touch
+                            // lines (every state read in the operators is
+                            // covered by a recorded access on its line).
+                            !acc.first_touch
+                                || spec
+                                    .stamps
+                                    .get(acc.addr >> 6)
+                                    .is_none_or(|&s| s <= rec.snapshot)
+                        });
+                    if valid {
+                        if spec.check {
+                            // Differential oracle: replay the record's
+                            // accesses through the private-cache spec
+                            // journal and prove the rollback is exact.
+                            let before = self.mem.spec_private_checksum(idx);
+                            self.mem.begin_spec_probe(idx);
+                            for acc in rec.ctx.accesses() {
+                                self.mem.spec_probe_private(idx, acc.addr, acc.kind);
+                            }
+                            self.mem.rollback_spec_probe(idx);
+                            assert_eq!(
+                                before,
+                                self.mem.spec_private_checksum(idx),
+                                "MINNOW_SPEC_CHECK: spec probe rollback left private caches dirty"
+                            );
+                        }
+                        self.report.spec_commits += 1;
+                        self.scratch.note_task_at(now, idx);
+                        self.scratch.ctx = rec.ctx;
+                        self.op.write().unwrap().apply_spec(&self.scratch.ctx);
+                        committed_spec = true;
+                    } else {
+                        self.report.spec_rollbacks += 1;
+                    }
+                }
+            }
+        }
+        if !committed_spec {
+            self.scratch.begin_task_at(now, idx);
+            self.op.write().unwrap().execute(task, &mut self.scratch.ctx);
+        }
 
         // ---- charge recorded accesses against the hierarchy ----
         let t0 = self.clock[idx];
@@ -495,7 +629,7 @@ impl FrontSpine for ExecSpine<'_> {
             for i in 0..self.scratch.parts.len() {
                 let part = self.scratch.parts[i];
                 let at = self.clock[idx];
-                let cost = self.sched.enqueue(idx, part, at, self.mem);
+                let cost = self.sched.lock().unwrap().enqueue(idx, part, at, self.mem);
                 self.clock[idx] += cost;
                 self.accounting.charge(idx, CycleBin::Worklist, cost);
                 self.tracer.emit(|| {
@@ -516,6 +650,22 @@ impl FrontSpine for ExecSpine<'_> {
             return FrontStep::Done;
         }
         self.ready.push(Reverse((self.clock[idx], idx)));
+        if let Some(spec) = self.spec.as_mut() {
+            // Stamp this step's written lines and publish the committed
+            // step count. The sequence store happens after the operator
+            // write lock above was released, so a peer that Acquire-reads
+            // `seq` observes every functional write of tasks `<= seq` —
+            // stale (low) reads can only cause false rollbacks.
+            let seq = spec.seq + 1;
+            for acc in self.scratch.ctx.accesses() {
+                if acc.kind != AccessKind::Load {
+                    spec.stamps.insert(acc.addr >> 6, seq);
+                }
+            }
+            spec.seq = seq;
+            spec.board.publish_step_seq(seq);
+            spec.board.publish_clock(idx, self.clock[idx]);
+        }
         self.peek()
     }
 }
@@ -568,6 +718,7 @@ pub fn run_with_prefetcher(
         // oracle path, matching the pre-split executor's fallback.
         plan = PointPlan::SERIAL;
     }
+    let speculate = plan.front >= 2 && resolve_speculate(cfg.speculate);
     let epoch_len = cfg.weave_epoch.max(1);
 
     let tracer = mem.tracer().clone();
@@ -592,12 +743,23 @@ pub fn run_with_prefetcher(
         point_threads_used: plan.host_threads(),
         front_threads_used: plan.front,
         lane_threads_used: if weave { plan.lanes } else { 0 },
+        spec_attempts: 0,
+        spec_commits: 0,
+        spec_rollbacks: 0,
+        front_hold_us: Vec::new(),
+        front_wait_us: Vec::new(),
         accounting: CycleAccounting::new(0),
     };
 
-    let spine = ExecSpine {
-        op,
-        sched,
+    let threads = cfg.threads;
+    let serial_baseline = cfg.serial_baseline;
+    let op_cell: OpCell = RwLock::new(op);
+    let sched_cell: SchedCell = Mutex::new(sched);
+    let board = SpecBoard::new(threads, plan.front.max(1));
+
+    let mut spine = ExecSpine {
+        op: &op_cell,
+        sched: &sched_cell,
         mem,
         // Rebuild the tuple so each reference sits at a coercion site:
         // the caller's trait-object lifetimes shrink to the spine's.
@@ -618,24 +780,74 @@ pub fn run_with_prefetcher(
         scratch: TaskScratch::new(map, cfg.serial_baseline),
         counters: ChargeCounters::default(),
         report,
+        spec: None,
     };
 
-    // Drive the spine to completion: serially for `front <= 1`, otherwise
-    // relayed across `front` threads that own contiguous core blocks.
+    // Drive the spine to completion. Three mutually exclusive modes, all
+    // producing byte-identical simulated outcomes: serial (`front <= 1`),
+    // the baton relay (`front >= 2`, speculation off), or speculative
+    // overlap (`front >= 2`, speculation on) in which shard 0 — this
+    // thread — drives the whole spine with no hand-offs while the peer
+    // shards pre-execute private prefixes of their own upcoming tasks.
+    let (spine, telemetry) = if speculate {
+        spine.spec = Some(SpecDrive {
+            board: &board,
+            front: plan.front,
+            stamps: FxMap64::new(),
+            seq: 0,
+            force_rollback: spec_force_rollback(),
+            consumed: 0,
+            check: spec_check_enabled(),
+        });
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for peer in 1..plan.front {
+                let (board, op, sched) = (&board, &op_cell, &sched_cell);
+                scope.spawn(move || {
+                    front::spec_server(
+                        peer,
+                        threads,
+                        plan.front,
+                        op,
+                        sched,
+                        board,
+                        map,
+                        serial_baseline,
+                    );
+                });
+            }
+            while spine.step() != FrontStep::Done {}
+            board.stop();
+        });
+        let mut telemetry = RelayTelemetry {
+            hold_us: vec![t0.elapsed().as_micros() as u64],
+            wait_us: vec![0],
+        };
+        for (h, w) in board.peer_times().into_iter().skip(1) {
+            telemetry.hold_us.push(h);
+            telemetry.wait_us.push(w);
+        }
+        spine.report.spec_attempts = board.attempts();
+        spine.spec = None;
+        (spine, telemetry)
+    } else {
+        front::relay_run(spine, plan.front)
+    };
     let ExecSpine {
-        sched,
         mem,
         mut accounting,
         clock,
         counters,
         mut report,
         ..
-    } = front::relay_run(spine, plan.front);
+    } = spine;
 
     // End of simulation: settle every outstanding fetch and bring the
     // fabric home before any stats are read.
     mem.finish_weave();
 
+    report.front_hold_us = telemetry.hold_us;
+    report.front_wait_us = telemetry.wait_us;
     report.delinquent_loads = counters.delinquent_loads;
     report.total_loads = counters.total_loads;
     report.makespan = clock.iter().copied().max().unwrap_or(0);
@@ -648,8 +860,6 @@ pub fn run_with_prefetcher(
         branch: accounting.bin_total(CycleBin::Branch),
     };
     report.accounting = accounting;
-    report.sched = sched.stats();
-    report.instructions += report.sched.instrs;
     let total = mem.total_stats();
     report.l2_misses = total.l2_misses;
     report.mem_accesses = total.accesses;
@@ -658,6 +868,10 @@ pub fn run_with_prefetcher(
         report.prefetch_fills += s.prefetch_fills.get();
         report.prefetch_used += s.prefetch_used.get();
     }
+    // Last: reclaiming the scheduler consumes its cell, so every borrow of
+    // the spine's lifetime (including `mem` above) must be done first.
+    report.sched = sched_cell.into_inner().unwrap().stats();
+    report.instructions += report.sched.instrs;
     report
 }
 

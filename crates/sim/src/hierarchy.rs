@@ -735,6 +735,62 @@ impl MemoryHierarchy {
         }
     }
 
+    // ---- speculative private probes --------------------------------------
+
+    /// Opens a speculative probe window over `core`'s private L1/L2 (see
+    /// [`Cache::begin_spec`]). Within the window,
+    /// [`MemoryHierarchy::spec_probe_private`] replays the private-cache leg
+    /// of demand accesses with every mutation journaled;
+    /// [`MemoryHierarchy::rollback_spec_probe`] restores both caches
+    /// bit-for-bit. The shared fabric, directory, credit pool, and per-core
+    /// stats are deliberately out of scope — speculation stops at the first
+    /// shared-fabric touch, and the committed (post-validation) charge
+    /// replays the real path for all of them.
+    pub fn begin_spec_probe(&mut self, core: usize) {
+        debug_assert!(core < self.cores);
+        self.l1[core].begin_spec();
+        self.l2[core].begin_spec();
+    }
+
+    /// The private L1/L2 leg of [`MemoryHierarchy::access`] inside a probe
+    /// window: same lookup/fill/mark decisions against the same SoA arrays,
+    /// journaled for rollback. Returns the level that would service the
+    /// access, with `CacheLevel::L3` standing in for "beyond the private
+    /// caches" (the probe does not consult the shared fabric).
+    pub fn spec_probe_private(&mut self, core: usize, addr: u64, kind: AccessKind) -> CacheLevel {
+        debug_assert!(core < self.cores);
+        let write = kind.is_write();
+        let line = addr >> self.line_shift;
+        let l1 = self.l1[core].spec_access_line(line, write);
+        if l1.hit {
+            // The demand path consumes a lingering L2 mark on L1 hits.
+            self.l2[core].spec_consume_mark_line(line);
+            return CacheLevel::L1;
+        }
+        let l2 = self.l2[core].spec_access_line(line, write);
+        if l2.hit {
+            self.l1[core].spec_fill_line(line, write, false);
+            return CacheLevel::L2;
+        }
+        // Beyond the private caches: fill both levels exactly as the demand
+        // path would after the shared fetch returns.
+        self.l2[core].spec_fill_line(line, write, false);
+        self.l1[core].spec_fill_line(line, write, false);
+        CacheLevel::L3
+    }
+
+    /// Closes `core`'s probe window, restoring its L1 and L2 bit-for-bit.
+    pub fn rollback_spec_probe(&mut self, core: usize) {
+        self.l1[core].rollback_spec();
+        self.l2[core].rollback_spec();
+    }
+
+    /// Combined digest of `core`'s private L1/L2 state, for asserting that
+    /// a probe window left no trace (`MINNOW_SPEC_CHECK`).
+    pub fn spec_private_checksum(&self, core: usize) -> u64 {
+        self.l1[core].spec_checksum().rotate_left(17) ^ self.l2[core].spec_checksum()
+    }
+
     /// Drains prefetch credits returned to `core`'s engine by evictions and
     /// remote invalidations since the last drain.
     pub fn drain_returned_credits(&mut self, core: usize) -> u64 {
@@ -1121,6 +1177,28 @@ mod tests {
         // A later re-access is a plain L1 hit (the first access filled L1).
         let late = m.access(0, 0x8000, AccessKind::Load, p.latency + 100);
         assert_eq!(late.latency, 4);
+    }
+
+    #[test]
+    fn spec_probe_rolls_back_private_caches() {
+        let mut m = hierarchy(2);
+        // Warm a mix of levels, including a marked prefetch line.
+        m.access(0, 0x1000, AccessKind::Load, 0);
+        m.prefetch_fill(0, 0x8000, 100);
+        let sum = m.spec_private_checksum(0);
+
+        m.begin_spec_probe(0);
+        assert_eq!(m.spec_probe_private(0, 0x1000, AccessKind::Load), CacheLevel::L1);
+        assert_eq!(m.spec_probe_private(0, 0x8000, AccessKind::Load), CacheLevel::L2);
+        assert_eq!(m.spec_probe_private(0, 0x2000, AccessKind::Store), CacheLevel::L3);
+        assert_ne!(m.spec_private_checksum(0), sum, "probes must be observable");
+        m.rollback_spec_probe(0);
+
+        assert_eq!(m.spec_private_checksum(0), sum);
+        assert!(m.l2_cache(0).probe_prefetched(0x8000), "mark restored");
+        // The real demand path still behaves as if the probe never ran.
+        let r = m.access(0, 0x8000, AccessKind::Load, 5000);
+        assert!(r.prefetch_consumed);
     }
 
     #[test]

@@ -44,6 +44,7 @@ struct Args {
     point_threads: usize,
     pin_point_threads: bool,
     front_shards: Option<usize>,
+    speculate: Option<bool>,
     out: String,
     max_evals: Option<usize>,
 }
@@ -73,6 +74,9 @@ options:
                    threads over the simulated cores, the rest as weave
                    lanes (requires --point-threads >= 2; outcomes are
                    identical for every split)
+  --speculate on|off
+                   speculative shard overlap between front shards
+                   (default on with >= 2 fronts; outcome-neutral)
   --out DIR        artifact + journal directory
                    (default target/minnow-explore)
   --max-evals N    run at most N fresh simulations, then checkpoint and
@@ -102,6 +106,7 @@ fn parse_args() -> Result<Args, String> {
         point_threads: 1,
         pin_point_threads: false,
         front_shards: None,
+        speculate: None,
         out: "target/minnow-explore".into(),
         max_evals: None,
     };
@@ -124,6 +129,15 @@ fn parse_args() -> Result<Args, String> {
             "--pin-point-threads" => args.pin_point_threads = true,
             "--front-shards" => {
                 args.front_shards = Some(argv.parse_at_least("--front-shards", 1)? as usize)
+            }
+            "--speculate" => {
+                args.speculate = Some(match argv.value("--speculate")?.as_str() {
+                    "on" | "1" | "true" => true,
+                    "off" | "0" | "false" => false,
+                    other => {
+                        return Err(format!("--speculate expects on|off, got `{other}`"))
+                    }
+                })
             }
             "--out" => args.out = argv.value("--out")?,
             "--max-evals" => args.max_evals = Some(argv.parse::<u64>("--max-evals")? as usize),
@@ -240,6 +254,7 @@ fn main() -> ExitCode {
         point_threads: args.point_threads,
         pin_point_threads: args.pin_point_threads,
         front_shards: args.front_shards,
+        speculate: args.speculate,
         max_fresh_evals: args.max_evals,
         journal_path,
         verbose: args.verbose,

@@ -35,6 +35,7 @@ struct Args {
     point_threads: Option<usize>,
     pin_point_threads: bool,
     front_shards: Option<usize>,
+    speculate: Option<bool>,
     filter: Option<String>,
     out: String,
     scale: Option<f64>,
@@ -78,6 +79,14 @@ options:
                   --point-threads >= 2 and N within the budget. Default:
                   the planner splits the budget evenly. Artifacts are
                   byte-identical for every split
+  --speculate on|off
+                  speculative shard overlap: with >= 2 front shards,
+                  idle shards pre-execute the private prefix of their
+                  next task in canonical order and the holder commits
+                  validated records (default on; also settable via
+                  MINNOW_SPECULATE). Artifacts are byte-identical either
+                  way — only host wall-clock and the --bench-out
+                  speculation counters change
   --filter STR    run only points whose id contains STR
   --out DIR       artifact directory (default target/minnow-sweep)
   --scale X       input scale factor (default: MINNOW_BENCH_SCALE or 0.3)
@@ -123,6 +132,7 @@ fn parse_args() -> Result<Args, String> {
         point_threads: None,
         pin_point_threads: false,
         front_shards: None,
+        speculate: None,
         filter: None,
         out: "target/minnow-sweep".into(),
         scale: None,
@@ -148,6 +158,15 @@ fn parse_args() -> Result<Args, String> {
             "--pin-point-threads" => args.pin_point_threads = true,
             "--front-shards" => {
                 args.front_shards = Some(argv.parse_at_least("--front-shards", 1)? as usize)
+            }
+            "--speculate" => {
+                args.speculate = Some(match argv.value("--speculate")?.as_str() {
+                    "on" | "1" | "true" => true,
+                    "off" | "0" | "false" => false,
+                    other => {
+                        return Err(format!("--speculate expects on|off, got `{other}`"))
+                    }
+                })
             }
             "--filter" => args.filter = Some(argv.value("--filter")?),
             "--out" => args.out = argv.value("--out")?,
@@ -221,6 +240,7 @@ fn main() -> ExitCode {
     }
     cfg.pin_point_threads = args.pin_point_threads;
     cfg.front_shards = args.front_shards;
+    cfg.speculate = args.speculate;
     cfg.filter = args.filter.clone();
     cfg.trace = args.trace_out.is_some();
 

@@ -34,6 +34,7 @@ fn config(space: Space, strategy: Strategy, journal: PathBuf) -> ExploreConfig {
         point_threads: 1,
         pin_point_threads: false,
         front_shards: None,
+        speculate: None,
         max_fresh_evals: None,
         journal_path: journal,
         verbose: false,

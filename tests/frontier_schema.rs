@@ -24,6 +24,7 @@ fn artifact() -> (String, String) {
         point_threads: 1,
         pin_point_threads: false,
         front_shards: None,
+        speculate: None,
         max_fresh_evals: None,
         journal_path: dir.join("smoke.journal.jsonl"),
         verbose: false,

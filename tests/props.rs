@@ -689,6 +689,47 @@ proptest! {
         }
     }
 
+    /// Rollback-storm fuzzing for speculative shard overlap: random
+    /// front splits, injected baton-latency skew, *and* the test-only
+    /// `MINNOW_SPEC_FORCE_ROLLBACK` hook (which discards every Nth
+    /// consumed speculation as if validation had failed) must never
+    /// change the golden fig16 makespans. Whether a pre-executed prefix
+    /// commits or replays is pure wall-clock; the simulated outcome is
+    /// pinned to the serial order either way.
+    #[test]
+    fn speculation_rollback_storms_preserve_golden_makespans(
+        point_threads in 2usize..6,
+        front_pick in 2usize..6,
+        force_every in 1u64..8,
+        stall_ns in 0u64..2_000,
+    ) {
+        let front = front_pick.min(point_threads);
+        std::env::set_var("MINNOW_FRONT_STALL_NS", stall_ns.to_string());
+        std::env::set_var("MINNOW_SPEC_FORCE_ROLLBACK", force_every.to_string());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for (id, run, golden) in weave_reference_points() {
+                let mut spec = run.clone();
+                spec.point_threads = point_threads;
+                spec.pin_point_threads = true;
+                spec.front_shards = Some(front);
+                spec.speculate = Some(true);
+                let report = spec.execute();
+                assert_eq!(report.makespan, *golden,
+                    "{id}: budget {point_threads} front {front} forced rollback \
+                     every {force_every} stall {stall_ns}ns changed the makespan");
+                assert!(
+                    report.spec_commits + report.spec_rollbacks <= report.spec_attempts,
+                    "{id}: consumed speculations exceed the attempted"
+                );
+            }
+        }));
+        std::env::remove_var("MINNOW_SPEC_FORCE_ROLLBACK");
+        std::env::remove_var("MINNOW_FRONT_STALL_NS");
+        if let Err(e) = outcome {
+            std::panic::resume_unwind(e);
+        }
+    }
+
     /// CSR construction round-trips an arbitrary edge list.
     #[test]
     fn csr_roundtrip(edges in prop::collection::vec((0u32..50, 0u32..50), 0..300)) {

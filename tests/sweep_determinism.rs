@@ -357,6 +357,194 @@ fn front_shard_splits_never_change_fig16_artifacts() {
     }
 }
 
+/// The speculative-overlap contract: with `--speculate on`, idle front
+/// shards pre-execute the private prefix of their next canonical task
+/// and the spine commits validated records — yet every artifact stays
+/// byte-identical to both the `--speculate off` relay and the serial
+/// oracle. Speculation is an execution detail, never part of the
+/// simulated result.
+#[test]
+fn speculation_never_changes_any_artifact() {
+    let sweep = Sweep::smoke(&tiny_params());
+    let serial = run_sweep(&sweep, &SweepConfig::serial());
+    for (pt, front) in [(2, 2), (4, 2), (4, 4)] {
+        let base = SweepConfig::serial()
+            .with_point_threads(pt)
+            .with_pinned_point_threads()
+            .with_front_shards(front);
+        let spec_on = run_sweep(&sweep, &base.clone().with_speculate(true));
+        let spec_off = run_sweep(&sweep, &base.with_speculate(false));
+        assert_eq!(
+            serial.jsonl(),
+            spec_on.jsonl(),
+            "pt={pt} front={front} speculate=on diverged from the serial oracle"
+        );
+        assert_eq!(
+            serial.jsonl(),
+            spec_off.jsonl(),
+            "pt={pt} front={front} speculate=off diverged from the serial oracle"
+        );
+        assert_eq!(
+            serial.breakdown_jsonl(),
+            spec_on.breakdown_jsonl(),
+            "pt={pt} front={front} speculation perturbed cycle accounting"
+        );
+        assert_eq!(
+            serial.breakdown_table(),
+            spec_on.breakdown_table(),
+            "pt={pt} front={front} speculation perturbed the breakdown table"
+        );
+        // The speculative drive replaces the baton relay outright, and
+        // the bench document says so: every consumed record either
+        // commits or rolls back (a speculation armed right as the point
+        // drains may go unconsumed, so attempts can exceed the sum),
+        // and a spec-off relay records no attempts at all.
+        for point in &spec_on.points {
+            let r = &point.report;
+            assert!(
+                r.spec_commits + r.spec_rollbacks <= r.spec_attempts,
+                "{}: consumed {} + {} speculations exceed the {} attempted",
+                point.id,
+                r.spec_commits,
+                r.spec_rollbacks,
+                r.spec_attempts
+            );
+        }
+        for point in &spec_off.points {
+            assert_eq!(
+                point.report.spec_attempts, 0,
+                "{}: a spec-off relay must never speculate",
+                point.id
+            );
+        }
+    }
+}
+
+/// Same speculation contract over the golden fig16 sweep with the
+/// across-point pool active, on vs off vs the serial oracle.
+#[test]
+fn speculation_never_changes_fig16_artifacts() {
+    let sweep = Sweep::fig16(&tiny_params());
+    let serial = run_sweep(&sweep, &SweepConfig::serial());
+    let base = SweepConfig::serial()
+        .with_threads(2)
+        .with_point_threads(4)
+        .with_pinned_point_threads()
+        .with_front_shards(2);
+    let spec_on = run_sweep(&sweep, &base.clone().with_speculate(true));
+    let spec_off = run_sweep(&sweep, &base.with_speculate(false));
+    assert_eq!(
+        serial.jsonl(),
+        spec_on.jsonl(),
+        "speculation diverged from the serial oracle on fig16"
+    );
+    assert_eq!(serial.jsonl(), spec_off.jsonl());
+    assert_eq!(serial.breakdown_jsonl(), spec_on.breakdown_jsonl());
+    assert_eq!(serial.breakdown_jsonl(), spec_off.breakdown_jsonl());
+    // fig16's workloads are big enough that speculation actually fires
+    // somewhere; an all-zero attempt count would mean the toggle is
+    // dead wiring rather than a verified protocol.
+    let attempts: u64 = spec_on.points.iter().map(|p| p.report.spec_attempts).sum();
+    assert!(
+        attempts > 0,
+        "speculation never attempted a single task across fig16"
+    );
+}
+
+/// The full differential oracle under speculation: every workload
+/// crossed with every engine family must emit byte-identical artifacts
+/// with `--speculate on` against the pt=1 serial oracle, exactly like
+/// the non-speculative shard matrix above.
+#[test]
+fn speculation_matrix_is_byte_identical_for_every_workload_and_engine() {
+    use minnow::algos::WorkloadKind;
+    use minnow::bench::sweep::SweepPoint;
+
+    let mut points = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let engines: [(&str, BenchRun); 3] = [
+            ("software", BenchRun::software_default(kind, 2)),
+            ("minnow", BenchRun::minnow(kind, 2)),
+            ("wdp", BenchRun::minnow_wdp(kind, 2)),
+        ];
+        for (engine, mut run) in engines {
+            run.scale = 0.02;
+            run.seed = 7;
+            points.push(SweepPoint {
+                id: format!("spec-matrix/{kind}/{engine}"),
+                run,
+            });
+        }
+    }
+    let sweep = Sweep {
+        name: "spec-matrix".into(),
+        points,
+    };
+    let serial = run_sweep(&sweep, &SweepConfig::serial());
+    for (pt, front) in [(2, 2), (4, 2)] {
+        let spec = run_sweep(
+            &sweep,
+            &SweepConfig::serial()
+                .with_point_threads(pt)
+                .with_pinned_point_threads()
+                .with_front_shards(front)
+                .with_speculate(true),
+        );
+        assert_eq!(
+            serial.jsonl(),
+            spec.jsonl(),
+            "pt={pt} front={front} speculation diverged on the engine matrix"
+        );
+        assert_eq!(
+            serial.breakdown_jsonl(),
+            spec.breakdown_jsonl(),
+            "pt={pt} front={front} speculation perturbed matrix cycle accounting"
+        );
+    }
+}
+
+/// Speculation on a file-loaded graph: the ingest path shares the same
+/// byte-identity contract as generated inputs.
+#[test]
+fn speculation_is_byte_identical_on_file_loaded_graphs() {
+    use minnow::bench::runner::InputSpec;
+
+    let dir = std::env::temp_dir().join(format!("minnow-spec-ingest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let text_path = dir.join("ring.el");
+    let mut text = String::new();
+    for u in 0..48u32 {
+        let prev = (u + 47) % 48;
+        let next = (u + 1) % 48;
+        text.push_str(&format!("{u} {}\n{u} {}\n", prev.min(next), prev.max(next)));
+    }
+    std::fs::write(&text_path, text).unwrap();
+
+    let sweep = Sweep::smoke(&tiny_params());
+    let serial = run_sweep(
+        &sweep,
+        &SweepConfig::serial().with_input(InputSpec::new(&text_path)),
+    );
+    for speculate in [true, false] {
+        let spec = run_sweep(
+            &sweep,
+            &SweepConfig::serial()
+                .with_point_threads(2)
+                .with_pinned_point_threads()
+                .with_front_shards(2)
+                .with_speculate(speculate)
+                .with_input(InputSpec::new(&text_path)),
+        );
+        assert_eq!(
+            serial.jsonl(),
+            spec.jsonl(),
+            "speculate={speculate} diverged on a file-loaded graph"
+        );
+        assert_eq!(serial.breakdown_jsonl(), spec.breakdown_jsonl());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Trace event streams are part of the determinism contract: traced
 /// points are pinned to the serial oracle (the weave refuses to engage
 /// under a tracer), so requesting `--point-threads` with `--trace-out`
