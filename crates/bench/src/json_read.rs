@@ -1,11 +1,19 @@
-//! A minimal JSON reader for the explorer's own artifacts.
+//! A minimal JSON reader for the workspace's own artifacts.
 //!
-//! The build environment has no serde; the journal and frontier
-//! documents are written by this workspace's fixed-order serializer
-//! (`minnow_bench::json`), but resume must survive *any* well-formed
-//! reordering plus truncated trailing lines from a killed process, so
-//! reading them back deserves a real (if small) recursive-descent
-//! parser rather than substring scans. Shared with the schema tests.
+//! The build environment has no serde; journals, frontier documents,
+//! and the serving protocol are written by this workspace's fixed-order
+//! serializer ([`crate::json`]), but readers must survive *any*
+//! well-formed reordering plus truncated trailing lines from a killed
+//! process, so reading them back deserves a real (if small)
+//! recursive-descent parser rather than substring scans. Shared by the
+//! explore journal, the `minnow-serve` wire protocol, and the schema
+//! tests.
+//!
+//! Unsigned integer tokens parse to [`Json::Int`] and stay **exact**
+//! over the full `u64` range — derived point seeds are genuine 64-bit
+//! values, and routing them through an `f64` would silently round
+//! everything above 2^53. Every other number is an [`Json::Number`]
+//! `f64`.
 
 use std::collections::BTreeMap;
 
@@ -18,8 +26,10 @@ pub enum Json {
     Array(Vec<Json>),
     /// String.
     String(String),
-    /// Number (all JSON numbers are f64 here; the journal's u64 fields
-    /// stay exact below 2^53, far above any simulated quantity).
+    /// Unsigned integer token (no sign, fraction, or exponent): exact
+    /// over the full `u64` range.
+    Int(u64),
+    /// Any other number (all remaining JSON numbers are f64 here).
     Number(f64),
     /// Boolean.
     Bool(bool),
@@ -62,17 +72,21 @@ impl Json {
         }
     }
 
-    /// The value as an `f64`, if it is a number.
+    /// The value as an `f64`, if it is a number (integers convert, with
+    /// the usual precision loss above 2^53).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Number(n) => Some(*n),
+            Json::Int(n) => Some(*n as f64),
             _ => None,
         }
     }
 
-    /// The value as a `u64`, if it is a non-negative integral number.
+    /// The value as a `u64`: exact for [`Json::Int`] tokens, lossy-safe
+    /// for integral [`Json::Number`]s (e.g. `3.0`).
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            Json::Int(n) => Some(*n),
             Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
             _ => None,
         }
@@ -296,6 +310,11 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        if text.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(n) = text.parse() {
+                return Ok(Json::Int(n));
+            }
+        }
         text.parse()
             .map(Json::Number)
             .map_err(|_| format!("bad number {text:?} at byte {start}"))
@@ -327,6 +346,19 @@ mod tests {
         for bad in ["{", "{\"a\":}", "[1,", "\"unterminated", "{\"a\":1}x", "nul"] {
             assert!(Json::parse(bad).is_err(), "{bad:?} parsed");
         }
+    }
+
+    #[test]
+    fn integer_tokens_stay_exact_over_the_full_u64_range() {
+        // A derived point seed: well above 2^53, where f64 rounds.
+        let doc = Json::parse("{\"seed\":18446744073709551615,\"neg\":-3,\"f\":2.5}").unwrap();
+        assert_eq!(doc.u64_field("seed").unwrap(), u64::MAX);
+        assert_eq!(doc.get("seed"), Some(&Json::Int(u64::MAX)));
+        assert_eq!(doc.get("neg"), Some(&Json::Number(-3.0)));
+        assert_eq!(doc.f64_field("f").unwrap(), 2.5);
+        // Integers still read as f64 when asked.
+        assert_eq!(doc.f64_field("neg").unwrap(), -3.0);
+        assert!(doc.u64_field("neg").is_err());
     }
 
     #[test]

@@ -19,7 +19,9 @@
 #![deny(missing_docs)]
 
 pub mod cli;
+pub mod eval;
 pub mod json;
+pub mod json_read;
 pub mod runner;
 pub mod sweep;
 pub mod table;

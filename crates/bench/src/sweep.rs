@@ -718,16 +718,12 @@ impl SweepResult {
     pub fn breakdown_jsonl(&self) -> String {
         let mut out = String::new();
         for point in &self.points {
-            let acct = &point.report.accounting;
-            let mut obj = JsonObject::new()
-                .str("sweep", &self.sweep)
-                .str("id", &point.id)
-                .u64("makespan", point.report.makespan)
-                .u64("cores", acct.cores() as u64);
-            for bin in CycleBin::ALL {
-                obj = obj.u64(bin.name(), acct.bin_total(bin));
-            }
-            out.push_str(&obj.finish());
+            let report = crate::eval::EvalReport::from_report(&point.report);
+            out.push_str(&crate::eval::breakdown_record_json(
+                &self.sweep,
+                &point.id,
+                &report,
+            ));
             out.push('\n');
         }
         out
@@ -903,51 +899,12 @@ impl SweepResult {
     }
 }
 
-/// Serializes one executed point as a JSON object (no trailing newline).
+/// Serializes one executed point as a JSON object (no trailing newline);
+/// the byte layout lives in [`crate::eval::point_record_json`], shared
+/// with the daemon path.
 fn point_record(sweep: &str, point: &PointResult) -> String {
-    let r = &point.report;
-    let breakdown = JsonObject::new()
-        .u64("useful", r.breakdown.useful)
-        .u64("worklist", r.breakdown.worklist)
-        .u64("memory", r.breakdown.memory)
-        .u64("fence", r.breakdown.fence)
-        .u64("branch", r.breakdown.branch)
-        .finish();
-    let sched = JsonObject::new()
-        .u64("enqueues", r.sched.enqueues)
-        .u64("dequeues", r.sched.dequeues)
-        .u64("empty_dequeues", r.sched.empty_dequeues)
-        .u64("op_cycles", r.sched.op_cycles)
-        .u64("wait_cycles", r.sched.wait_cycles)
-        .u64("instrs", r.sched.instrs)
-        .finish();
-    JsonObject::new()
-        .str("sweep", sweep)
-        .str("id", &point.id)
-        .str("workload", point.run.kind.name())
-        .str("sched", &point.run.sched.label())
-        .u64("threads", point.run.threads as u64)
-        .f64("scale", point.run.scale)
-        .u64("seed", point.run.seed)
-        .opt_u64("channels", point.run.channels.map(|c| c as u64))
-        .opt_u64("rob", point.run.rob.map(|r| r as u64))
-        .bool("serial_baseline", point.run.serial_baseline)
-        .u64("makespan", r.makespan)
-        .u64("tasks", r.tasks)
-        .u64("instructions", r.instructions)
-        .bool("timed_out", r.timed_out)
-        .raw("breakdown", &breakdown)
-        .raw("sched_stats", &sched)
-        .u64("l2_misses", r.l2_misses)
-        .u64("mem_accesses", r.mem_accesses)
-        .u64("delinquent_loads", r.delinquent_loads)
-        .u64("total_loads", r.total_loads)
-        .u64("prefetch_fills", r.prefetch_fills)
-        .u64("prefetch_used", r.prefetch_used)
-        .u64("supersteps", r.supersteps)
-        .f64("mpki", r.mpki())
-        .f64("prefetch_efficiency", r.prefetch_efficiency())
-        .finish()
+    let report = crate::eval::EvalReport::from_report(&point.report);
+    crate::eval::point_record_json(sweep, &point.id, &point.run, &report)
 }
 
 #[cfg(test)]

@@ -12,13 +12,29 @@
 //! strategy, rungs)` tuple; resuming with different parameters is
 //! refused rather than silently mixing incompatible results. A
 //! truncated final line — the footprint of a process killed mid-write —
-//! is tolerated and ignored; corruption anywhere else is an error.
+//! is tolerated and **repaired** (the torn bytes are truncated away, so
+//! a later append cannot fuse with them into an unparsable interior
+//! line); corruption anywhere else is an error.
+//!
+//! # Open cost
+//!
+//! Journals are append-only, so a process-wide snapshot index keyed by
+//! canonical path remembers each journal's parsed state up to its last
+//! durable byte. Re-opening a snapshotted journal verifies the header
+//! bytes, seeks to the durable offset, and parses only the tail — open
+//! cost is O(new records), not O(file), which is what lets a resident
+//! daemon re-open per-search journals thousands of times without
+//! re-reading megabytes each time ([`Journal::bytes_scanned`] observes
+//! this). The index assumes the single-writer discipline the journal
+//! already requires; a file that shrank or changed its header falls
+//! back to a full re-read.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
-use std::io::Write as _;
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
 
 use minnow_bench::json::JsonObject;
 
@@ -105,6 +121,20 @@ impl JournalHeader {
     }
 }
 
+fn identity_error(found: &JournalHeader, expected: &JournalHeader) -> ExploreError {
+    ExploreError::Journal(format!(
+        "journal belongs to a different search \
+         (space {} seed {} strategy {} vs space {} seed {} strategy {}); \
+         use a fresh journal path or delete it",
+        found.space,
+        found.seed,
+        found.strategy,
+        expected.space,
+        expected.seed,
+        expected.strategy,
+    ))
+}
+
 /// One journaled evaluation: a configuration simulated at a rung.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvalRecord {
@@ -137,7 +167,10 @@ pub struct EvalRecord {
 }
 
 impl EvalRecord {
-    fn to_json(&self) -> String {
+    /// Serializes the record as one journal line (no trailing newline).
+    /// Public because the `minnow-serve` worker protocol streams these
+    /// same objects over its wire.
+    pub fn to_json(&self) -> String {
         JsonObject::new()
             .u64("seq", self.seq)
             .str("id", &self.id)
@@ -154,7 +187,12 @@ impl EvalRecord {
             .finish()
     }
 
-    fn from_json(doc: &Json) -> Result<EvalRecord, String> {
+    /// Parses a record serialized by [`EvalRecord::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or mistyped field.
+    pub fn from_json(doc: &Json) -> Result<EvalRecord, String> {
         Ok(EvalRecord {
             seq: doc.u64_field("seq")?,
             id: doc.str_field("id")?.to_string(),
@@ -172,15 +210,60 @@ impl EvalRecord {
     }
 }
 
+/// Parsed journal state up to the last durable byte, kept per canonical
+/// path so re-opens only parse the tail.
+#[derive(Debug, Clone)]
+struct Snapshot {
+    /// The header line, including its newline (byte-compared on reopen
+    /// to detect a replaced file).
+    header_line: String,
+    /// The parsed header.
+    header: JournalHeader,
+    /// File length covered by this snapshot: every byte below it has
+    /// been parsed into `cache`.
+    valid_len: u64,
+    /// Record/blank lines consumed (for stable error line numbers).
+    lines: usize,
+    /// Highest seq + 1.
+    next_seq: u64,
+    /// Every parsed record.
+    cache: BTreeMap<(String, usize), EvalRecord>,
+}
+
+fn snapshots() -> &'static Mutex<HashMap<PathBuf, Snapshot>> {
+    static INDEX: OnceLock<Mutex<HashMap<PathBuf, Snapshot>>> = OnceLock::new();
+    INDEX.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn canonical(path: &Path) -> PathBuf {
+    std::fs::canonicalize(path).unwrap_or_else(|_| path.to_path_buf())
+}
+
+/// Pending filesystem repair discovered while parsing the tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Repair {
+    /// The file ends on a line boundary; nothing to do.
+    None,
+    /// Torn unparsable tail: truncate the file to the durable length so
+    /// the next append starts on a line boundary.
+    Truncate,
+    /// The final line is a complete record missing only its newline:
+    /// keep it and append the newline.
+    AppendNewline,
+}
+
 /// The open journal: an eval cache backed by the append-only file.
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
+    key: PathBuf,
     header: JournalHeader,
     cache: BTreeMap<(String, usize), EvalRecord>,
     next_seq: u64,
     /// Evaluations served from disk on open (resume observability).
     resumed: usize,
+    /// Journal bytes read and parsed by this open.
+    bytes_scanned: u64,
 }
 
 /// Explorer errors.
@@ -214,41 +297,126 @@ impl From<std::io::Error> for ExploreError {
 
 impl Journal {
     /// Opens (resuming) or creates the journal at `path` for the given
-    /// search identity.
+    /// search identity. Re-opening a journal this process has already
+    /// parsed costs O(tail): only bytes past the last durable offset
+    /// are read (see the module docs and [`Journal::bytes_scanned`]).
     ///
     /// # Errors
     ///
     /// Fails on i/o errors, on a journal whose header does not match
     /// `header`, or on corruption anywhere but a truncated final line.
     pub fn open(path: &Path, header: JournalHeader) -> Result<Journal, ExploreError> {
-        let mut journal = Journal {
+        let file_len = match std::fs::metadata(path) {
+            Ok(meta) => Some(meta.len()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e.into()),
+        };
+        let Some(file_len) = file_len else {
+            return Journal::create(path, header);
+        };
+        let key = canonical(path);
+        let snap = {
+            let index = snapshots().lock().unwrap_or_else(|e| e.into_inner());
+            index.get(&key).cloned()
+        };
+        if let Some(snap) = snap {
+            if file_len >= snap.valid_len {
+                if let Some(journal) = Journal::open_tail(path, &key, &header, &snap)? {
+                    return Ok(journal);
+                }
+            }
+        }
+        Journal::open_full(path, &key, header)
+    }
+
+    fn create(path: &Path, header: JournalHeader) -> Result<Journal, ExploreError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let header_line = format!("{}\n", header.to_json());
+        let mut file = File::create(path)?;
+        file.write_all(header_line.as_bytes())?;
+        file.sync_data()?;
+        let key = canonical(path);
+        let journal = Journal {
             path: path.to_path_buf(),
-            header,
+            key: key.clone(),
+            header: header.clone(),
             cache: BTreeMap::new(),
             next_seq: 0,
             resumed: 0,
+            bytes_scanned: 0,
         };
-        match std::fs::read_to_string(path) {
-            Ok(text) => journal.load(&text)?,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                if let Some(parent) = path.parent() {
-                    if !parent.as_os_str().is_empty() {
-                        std::fs::create_dir_all(parent)?;
-                    }
-                }
-                let mut file = File::create(path)?;
-                file.write_all(journal.header.to_json().as_bytes())?;
-                file.write_all(b"\n")?;
-                file.sync_data()?;
-            }
-            Err(e) => return Err(e.into()),
-        }
+        let mut index = snapshots().lock().unwrap_or_else(|e| e.into_inner());
+        index.insert(
+            key,
+            Snapshot {
+                valid_len: header_line.len() as u64,
+                header_line,
+                header,
+                lines: 0,
+                next_seq: 0,
+                cache: BTreeMap::new(),
+            },
+        );
         Ok(journal)
     }
 
-    fn load(&mut self, text: &str) -> Result<(), ExploreError> {
-        let mut lines = text.split_inclusive('\n');
-        let header_line = lines
+    /// The snapshot fast path: verify the header bytes, parse only the
+    /// tail past the durable offset. `Ok(None)` means the file on disk
+    /// no longer matches the snapshot — fall back to a full read.
+    fn open_tail(
+        path: &Path,
+        key: &Path,
+        expected: &JournalHeader,
+        snap: &Snapshot,
+    ) -> Result<Option<Journal>, ExploreError> {
+        let mut file = File::open(path)?;
+        let mut head = vec![0u8; snap.header_line.len()];
+        if file.read_exact(&mut head).is_err() || head != snap.header_line.as_bytes() {
+            return Ok(None);
+        }
+        if !snap.header.compatible(expected) {
+            return Err(identity_error(&snap.header, expected));
+        }
+        file.seek(SeekFrom::Start(snap.valid_len))?;
+        let mut tail = String::new();
+        file.read_to_string(&mut tail)?;
+        drop(file);
+        let mut journal = Journal {
+            path: path.to_path_buf(),
+            key: key.to_path_buf(),
+            header: expected.clone(),
+            cache: snap.cache.clone(),
+            next_seq: snap.next_seq,
+            resumed: 0,
+            bytes_scanned: (snap.header_line.len() + tail.len()) as u64,
+        };
+        let (valid_len, lines, repair) = journal.ingest(&tail, snap.valid_len, snap.lines)?;
+        let valid_len = apply_repair(path, valid_len, repair)?;
+        journal.resumed = journal.cache.len();
+        let mut index = snapshots().lock().unwrap_or_else(|e| e.into_inner());
+        index.insert(
+            key.to_path_buf(),
+            Snapshot {
+                header_line: snap.header_line.clone(),
+                header: snap.header.clone(),
+                valid_len,
+                lines,
+                next_seq: journal.next_seq,
+                cache: journal.cache.clone(),
+            },
+        );
+        Ok(Some(journal))
+    }
+
+    /// The cold path: read and parse the whole file.
+    fn open_full(path: &Path, key: &Path, header: JournalHeader) -> Result<Journal, ExploreError> {
+        let text = std::fs::read_to_string(path)?;
+        let header_line = text
+            .split_inclusive('\n')
             .next()
             .ok_or_else(|| ExploreError::Journal("empty journal file".into()))?;
         if !header_line.ends_with('\n') {
@@ -261,47 +429,92 @@ impl Journal {
         let doc = Json::parse(header_line.trim_end())
             .map_err(|e| ExploreError::Journal(format!("header: {e}")))?;
         let found = JournalHeader::from_json(&doc).map_err(ExploreError::Journal)?;
-        if !found.compatible(&self.header) {
-            return Err(ExploreError::Journal(format!(
-                "journal belongs to a different search \
-                 (space {} seed {} strategy {} vs space {} seed {} strategy {}); \
-                 use a fresh journal path or delete it",
-                found.space,
-                found.seed,
-                found.strategy,
-                self.header.space,
-                self.header.seed,
-                self.header.strategy,
-            )));
+        if !found.compatible(&header) {
+            return Err(identity_error(&found, &header));
         }
-        for (idx, raw) in lines.enumerate() {
+        let mut journal = Journal {
+            path: path.to_path_buf(),
+            key: key.to_path_buf(),
+            header,
+            cache: BTreeMap::new(),
+            next_seq: 0,
+            resumed: 0,
+            bytes_scanned: text.len() as u64,
+        };
+        let body = &text[header_line.len()..];
+        let (valid_len, lines, repair) = journal.ingest(body, header_line.len() as u64, 0)?;
+        let valid_len = apply_repair(path, valid_len, repair)?;
+        journal.resumed = journal.cache.len();
+        let mut index = snapshots().lock().unwrap_or_else(|e| e.into_inner());
+        index.insert(
+            key.to_path_buf(),
+            Snapshot {
+                header_line: header_line.to_string(),
+                header: found,
+                valid_len,
+                lines,
+                next_seq: journal.next_seq,
+                cache: journal.cache.clone(),
+            },
+        );
+        Ok(journal)
+    }
+
+    /// Parses record lines from `text` — which starts at absolute byte
+    /// offset `base`, after `prior_lines` earlier content lines — into
+    /// the cache. Returns the durable length (every byte below it is a
+    /// complete, parsed line), the new content-line count, and the
+    /// filesystem repair the tail needs.
+    fn ingest(
+        &mut self,
+        text: &str,
+        base: u64,
+        prior_lines: usize,
+    ) -> Result<(u64, usize, Repair), ExploreError> {
+        let mut valid_len = base;
+        let mut lines = prior_lines;
+        for raw in text.split_inclusive('\n') {
             let complete = raw.ends_with('\n');
             let line = raw.trim_end();
             if line.is_empty() {
+                if complete {
+                    valid_len += raw.len() as u64;
+                    lines += 1;
+                }
+                // Torn whitespace stays past `valid_len`; harmless, and
+                // a later append still starts a parseable line.
                 continue;
             }
-            let parsed = Json::parse(line).and_then(|doc| EvalRecord::from_json(&doc));
-            match parsed {
+            match Json::parse(line).and_then(|doc| EvalRecord::from_json(&doc)) {
                 Ok(rec) => {
                     self.next_seq = self.next_seq.max(rec.seq + 1);
                     self.cache.insert((rec.id.clone(), rec.rung), rec);
+                    lines += 1;
+                    valid_len += raw.len() as u64;
+                    if !complete {
+                        // A complete record that lost only its newline:
+                        // keep it, restore the line boundary.
+                        return Ok((valid_len, lines, Repair::AppendNewline));
+                    }
                 }
                 Err(e) if !complete => {
                     // The kill signature: a partial final line. The
-                    // evaluation it would have recorded simply re-runs.
+                    // evaluation it would have recorded simply re-runs —
+                    // and the torn bytes are truncated away so the next
+                    // append cannot fuse with them into interior
+                    // corruption.
                     let _ = e;
-                    break;
+                    return Ok((valid_len, lines, Repair::Truncate));
                 }
                 Err(e) => {
                     return Err(ExploreError::Journal(format!(
                         "corrupt record on journal line {}: {e}",
-                        idx + 2
+                        lines + 2
                     )));
                 }
             }
         }
-        self.resumed = self.cache.len();
-        Ok(())
+        Ok((valid_len, lines, Repair::None))
     }
 
     /// The journal's identity header.
@@ -312,6 +525,13 @@ impl Journal {
     /// Evaluations recovered from disk when the journal was opened.
     pub fn resumed(&self) -> usize {
         self.resumed
+    }
+
+    /// Journal bytes this open read and parsed: the whole file on a
+    /// cold open, only the header line plus the unseen tail when a
+    /// process-wide snapshot covered the prefix.
+    pub fn bytes_scanned(&self) -> u64 {
+        self.bytes_scanned
     }
 
     /// A cached evaluation, if this (configuration, rung) has run.
@@ -349,11 +569,40 @@ impl Journal {
         file.write_all(payload.as_bytes())?;
         file.flush()?;
         file.sync_data()?;
+        {
+            let mut index = snapshots().lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(snap) = index.get_mut(&self.key) {
+                snap.valid_len += payload.len() as u64;
+                snap.lines += records.len();
+                for rec in &records {
+                    snap.next_seq = snap.next_seq.max(rec.seq + 1);
+                    snap.cache.insert((rec.id.clone(), rec.rung), rec.clone());
+                }
+            }
+        }
         for rec in records {
             self.next_seq = self.next_seq.max(rec.seq + 1);
             self.cache.insert((rec.id.clone(), rec.rung), rec);
         }
         Ok(())
+    }
+}
+
+fn apply_repair(path: &Path, valid_len: u64, repair: Repair) -> Result<u64, ExploreError> {
+    match repair {
+        Repair::None => Ok(valid_len),
+        Repair::Truncate => {
+            let file = OpenOptions::new().write(true).open(path)?;
+            file.set_len(valid_len)?;
+            file.sync_data()?;
+            Ok(valid_len)
+        }
+        Repair::AppendNewline => {
+            let mut file = OpenOptions::new().append(true).open(path)?;
+            file.write_all(b"\n")?;
+            file.sync_data()?;
+            Ok(valid_len + 1)
+        }
     }
 }
 
@@ -391,6 +640,16 @@ mod tests {
         std::env::temp_dir().join(format!("minnow-journal-{}-{name}.jsonl", std::process::id()))
     }
 
+    /// Drops the process-wide snapshot, forcing the next open down the
+    /// cold full-read path — the moral equivalent of a fresh process.
+    fn forget(path: &Path) {
+        let key = canonical(path);
+        snapshots()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&key);
+    }
+
     #[test]
     fn create_append_reopen_round_trips() {
         let path = tmp("roundtrip");
@@ -400,12 +659,17 @@ mod tests {
         j.append_batch(vec![record(0, "a", 0), record(1, "b", 0)]).unwrap();
         j.append_batch(vec![record(2, "a", 1)]).unwrap();
 
-        let j2 = Journal::open(&path, header()).unwrap();
-        assert_eq!(j2.resumed(), 3);
-        assert_eq!(j2.next_seq(), 3);
-        assert_eq!(j2.get("a", 0).unwrap().makespan, 1000);
-        assert_eq!(j2.get("a", 1).unwrap().makespan, 1002);
-        assert!(j2.get("b", 1).is_none());
+        for cold in [false, true] {
+            if cold {
+                forget(&path);
+            }
+            let j2 = Journal::open(&path, header()).unwrap();
+            assert_eq!(j2.resumed(), 3);
+            assert_eq!(j2.next_seq(), 3);
+            assert_eq!(j2.get("a", 0).unwrap().makespan, 1000);
+            assert_eq!(j2.get("a", 1).unwrap().makespan, 1002);
+            assert!(j2.get("b", 1).is_none());
+        }
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -415,21 +679,101 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let mut j = Journal::open(&path, header()).unwrap();
         j.append_batch(vec![record(0, "a", 0)]).unwrap();
+        let clean_len = std::fs::metadata(&path).unwrap().len();
         // Simulate a kill mid-write: a partial record with no newline.
         let mut f = OpenOptions::new().append(true).open(&path).unwrap();
         f.write_all(b"{\"seq\":1,\"id\":\"b\",\"ru").unwrap();
         drop(f);
+        let text_with_torn = std::fs::read_to_string(&path).unwrap();
         let j2 = Journal::open(&path, header()).unwrap();
         assert_eq!(j2.resumed(), 1, "partial line ignored");
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            clean_len,
+            "the torn bytes are truncated away on open"
+        );
 
-        // Interior corruption (a complete but malformed line) is fatal.
-        let text = std::fs::read_to_string(&path).unwrap();
-        let fixed = text.replace("{\"seq\":1,\"id\":\"b\",\"ru", "garbage\n");
-        std::fs::write(&path, fixed).unwrap();
+        // Interior corruption (a complete but malformed line) is fatal,
+        // from both the snapshot tail path and a cold full read.
+        let poisoned = text_with_torn.replace("{\"seq\":1,\"id\":\"b\",\"ru", "garbage\n");
+        std::fs::write(&path, poisoned).unwrap();
         assert!(matches!(
             Journal::open(&path, header()),
             Err(ExploreError::Journal(_))
         ));
+        forget(&path);
+        assert!(matches!(
+            Journal::open(&path, header()),
+            Err(ExploreError::Journal(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_repair_keeps_later_appends_parseable_across_cold_opens() {
+        let path = tmp("torn-then-append");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::open(&path, header()).unwrap();
+        j.append_batch(vec![record(0, "a", 0)]).unwrap();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"seq\":1,\"id\":\"b\",\"ma").unwrap();
+        drop(f);
+        // Before the repair existed, this open tolerated the torn tail
+        // but the following append landed *after* it, fusing both into
+        // one complete-but-malformed line — fatal interior corruption
+        // for every later (fresh-process) open. Now the open truncates.
+        let mut j2 = Journal::open(&path, header()).unwrap();
+        j2.append_batch(vec![record(1, "b", 0)]).unwrap();
+        forget(&path);
+        let j3 = Journal::open(&path, header()).unwrap();
+        assert_eq!(j3.resumed(), 2);
+        assert_eq!(j3.get("b", 0).unwrap().makespan, 1001);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_cost_is_o_tail_on_a_10k_record_journal() {
+        let path = tmp("10k-tail");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::open(&path, header()).unwrap();
+        let mut seq = 0u64;
+        for batch in 0..20 {
+            let records: Vec<EvalRecord> = (0..500)
+                .map(|i| {
+                    let rec = record(seq, &format!("cfg-{batch}-{i}"), 0);
+                    seq += 1;
+                    rec
+                })
+                .collect();
+            j.append_batch(records).unwrap();
+        }
+        let file_len = std::fs::metadata(&path).unwrap().len();
+        assert!(file_len > 1_000_000, "10k records should exceed 1MB");
+
+        // Another writer (a dead daemon's worker, say) appended two
+        // records this process has not seen.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        for rec in [record(10_000, "late-a", 1), record(10_001, "late-b", 1)] {
+            f.write_all(rec.to_json().as_bytes()).unwrap();
+            f.write_all(b"\n").unwrap();
+        }
+        drop(f);
+
+        let j2 = Journal::open(&path, header()).unwrap();
+        assert_eq!(j2.resumed(), 10_002);
+        assert_eq!(j2.next_seq(), 10_002);
+        assert_eq!(j2.get("late-b", 1).unwrap().makespan, 1000 + 10_001);
+        assert!(
+            j2.bytes_scanned() < 2_000,
+            "snapshot reopen must scan only the tail, scanned {} of {file_len}",
+            j2.bytes_scanned()
+        );
+
+        // The cold path really is O(file) — the fast path's win is real.
+        forget(&path);
+        let j3 = Journal::open(&path, header()).unwrap();
+        assert_eq!(j3.bytes_scanned(), std::fs::metadata(&path).unwrap().len());
+        assert_eq!(j3.resumed(), 10_002);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -465,9 +809,15 @@ mod tests {
             JournalHeader { rungs: vec![Rung::Scale(0.02)], ..header() },
             JournalHeader {
                 rungs: vec![Rung::Scale(0.02), Rung::Input("g.mcsr".into())],
-                ..header()
+            ..header()
             },
         ] {
+            // Both the snapshot fast path and the cold path refuse.
+            assert!(matches!(
+                Journal::open(&path, other.clone()),
+                Err(ExploreError::Journal(_))
+            ));
+            forget(&path);
             assert!(matches!(
                 Journal::open(&path, other),
                 Err(ExploreError::Journal(_))

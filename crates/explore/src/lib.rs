@@ -33,15 +33,16 @@
 
 pub mod frontier;
 pub mod journal;
-pub mod json_read;
 pub mod space;
 pub mod strategy;
 
+// The JSON reader moved into `minnow-bench` so the serving layer can
+// parse wire requests; the old path keeps working.
+pub use minnow_bench::json_read;
+
 use std::path::{Path, PathBuf};
 
-use minnow_bench::sweep::{
-    run_sweep_observed, PointResult, Sweep, SweepConfig, SweepHooks, SweepPoint,
-};
+use minnow_bench::eval::{EvalRequest, Evaluator, LocalEvaluator};
 
 pub use frontier::{build_frontier, FrontierDoc, FrontierRow, FRONTIER_SCHEMA};
 pub use journal::{EvalRecord, ExploreError, Journal, JournalHeader, JOURNAL_SCHEMA};
@@ -116,6 +117,31 @@ pub enum ExploreOutcome {
 /// journal line — the footprint of a killed process — is not an error;
 /// the lost evaluation simply re-runs.
 pub fn explore(cfg: &ExploreConfig) -> Result<ExploreOutcome, ExploreError> {
+    let mut local = LocalEvaluator {
+        pool_threads: cfg.pool_threads.max(1),
+        point_threads: cfg.point_threads.max(1),
+        pin_point_threads: cfg.pin_point_threads,
+        front_shards: cfg.front_shards,
+        speculate: cfg.speculate,
+        verbose: cfg.verbose,
+        tag: "explore".into(),
+    };
+    explore_with(cfg, &mut local)
+}
+
+/// [`explore`] with an explicit [`Evaluator`]: the daemon serves
+/// searches through its memoizing store and remote workers by passing
+/// its own implementation here. The search logic — waves, journal
+/// replay, budgets, frontier — is identical, so the frontier artifact
+/// is byte-identical for any conforming evaluator.
+///
+/// # Errors
+///
+/// Everything [`explore`] fails on, plus evaluator transport errors.
+pub fn explore_with(
+    cfg: &ExploreConfig,
+    evaluator: &mut dyn Evaluator,
+) -> Result<ExploreOutcome, ExploreError> {
     cfg.space.validate().map_err(ExploreError::Config)?;
     let configs = cfg.space.configs();
     let mut journal = Journal::open(
@@ -162,7 +188,7 @@ pub fn explore(cfg: &ExploreConfig) -> Result<ExploreOutcome, ExploreError> {
         // simulation, not the whole wave.
         let chunk_size = (cfg.pool_threads * 2).max(4);
         for chunk in pending[..allowed].chunks(chunk_size) {
-            let batch = simulate(cfg, &configs, chunk);
+            let batch = simulate(cfg, &configs, chunk, evaluator)?;
             fresh += batch.records.len();
             let base_seq = journal.next_seq();
             journal.append_batch(
@@ -200,65 +226,57 @@ struct Batch {
     records: Vec<EvalRecord>,
 }
 
-/// Simulates one chunk of evaluations through the sweep pool and turns
-/// the reports into journal records (sequence numbers assigned by the
-/// caller). Sweep point ids encode the rung (`<config>@r<rung>`) so
+/// Simulates one chunk of evaluations through the evaluator and turns
+/// the responses into journal records (sequence numbers assigned by
+/// the caller). Request ids encode the rung (`<config>@r<rung>`) so
 /// one chunk may mix rungs without collision.
-fn simulate(cfg: &ExploreConfig, configs: &[ConfigPoint], chunk: &[EvalKey]) -> Batch {
-    let points = chunk
+fn simulate(
+    cfg: &ExploreConfig,
+    configs: &[ConfigPoint],
+    chunk: &[EvalKey],
+    evaluator: &mut dyn Evaluator,
+) -> Result<Batch, ExploreError> {
+    let requests: Vec<EvalRequest> = chunk
         .iter()
         .map(|e| {
             let point = &configs[e.config];
-            SweepPoint {
+            EvalRequest {
                 id: format!("{}@r{}", point.id, e.rung),
                 run: point.bench_run(&cfg.space.rungs[e.rung], cfg.seed),
             }
         })
         .collect();
-    let sweep = Sweep {
-        name: cfg.space.name.clone(),
-        points,
-    };
-    let mut sweep_cfg = SweepConfig::serial()
-        .with_threads(cfg.pool_threads.max(1))
-        .with_point_threads(cfg.point_threads.max(1));
-    sweep_cfg.pin_point_threads = cfg.pin_point_threads;
-    sweep_cfg.front_shards = cfg.front_shards;
-    sweep_cfg.speculate = cfg.speculate;
-    let narrate = |p: &PointResult| {
-        eprintln!(
-            "[explore]   {} makespan {} tasks {} ({} ms)",
-            p.id,
-            p.report.makespan,
-            p.report.tasks,
-            p.wall.as_millis()
-        );
-    };
-    let hooks = SweepHooks {
-        cancel: None,
-        on_point: cfg.verbose.then_some(&narrate as &(dyn Fn(&PointResult) + Sync)),
-    };
-    let result = run_sweep_observed(&sweep, &sweep_cfg, &hooks);
-    debug_assert_eq!(result.points.len(), chunk.len());
+    let seeds: Vec<u64> = requests.iter().map(|r| r.run.seed).collect();
+    let responses = evaluator
+        .evaluate(requests)
+        .map_err(|e| ExploreError::Config(format!("evaluator: {e}")))?;
+    if responses.len() != chunk.len() {
+        return Err(ExploreError::Config(format!(
+            "evaluator answered {} of {} requests",
+            responses.len(),
+            chunk.len()
+        )));
+    }
     let records = chunk
         .iter()
-        .zip(&result.points)
-        .map(|(e, p)| EvalRecord {
+        .zip(&seeds)
+        .zip(&responses)
+        .map(|((e, seed), resp)| EvalRecord {
             seq: 0, // assigned at append time
             id: configs[e.config].id.clone(),
             rung: e.rung,
             scale: cfg.space.rungs[e.rung].scale_value(),
-            seed: p.run.seed,
-            makespan: p.report.makespan,
-            tasks: p.report.tasks,
-            instructions: p.report.instructions,
-            l2_misses: p.report.l2_misses,
-            mem_accesses: p.report.mem_accesses,
-            timed_out: p.report.timed_out,
-            wall_us: p.wall.as_micros() as u64,
+            seed: *seed,
+            makespan: resp.report.makespan,
+            tasks: resp.report.tasks,
+            instructions: resp.report.instructions,
+            l2_misses: resp.report.l2_misses,
+            mem_accesses: resp.report.mem_accesses,
+            timed_out: resp.report.timed_out,
+            wall_us: resp.wall_us,
         })
         .collect();
-    Batch { records }
+    Ok(Batch { records })
 }
 
 /// Writes `<space>.frontier.jsonl` and `<space>.frontier.txt` under

@@ -1,0 +1,120 @@
+//! Client-side request/response helpers: one connection, one line out,
+//! one line back. Used by `minnow-client`, the protocol tests, and any
+//! script that prefers the socket over HTTP.
+
+use std::io::BufReader;
+use std::time::{Duration, Instant};
+
+use minnow_bench::json_read::Json;
+
+use crate::net::{read_line_capped, write_line, LineRead, ServeAddr, Stream};
+use crate::proto::MAX_RESPONSE_BYTES;
+
+/// A persistent client connection (several requests, one stream).
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the address on connect failure.
+    pub fn connect(addr: &ServeAddr) -> Result<Client, String> {
+        let stream = addr
+            .connect()
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+        let writer = stream
+            .try_clone()
+            .map_err(|e| format!("clone {addr}: {e}"))?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line and reads the one-line response.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for transport failures, an oversized response,
+    /// or an unparsable response line.
+    pub fn request(&mut self, line: &str) -> Result<Json, String> {
+        write_line(&mut self.writer, line).map_err(|e| format!("write: {e}"))?;
+        match read_line_capped(&mut self.reader, MAX_RESPONSE_BYTES) {
+            Ok(LineRead::Line(l)) => {
+                Json::parse(&l).map_err(|e| format!("response parse: {e}"))
+            }
+            Ok(LineRead::Eof) => Err("daemon closed the connection without answering".into()),
+            Ok(LineRead::Oversized) => {
+                Err(format!("response exceeds {MAX_RESPONSE_BYTES} bytes"))
+            }
+            Err(e) => Err(format!("read: {e}")),
+        }
+    }
+}
+
+/// One-shot request on a fresh connection.
+///
+/// # Errors
+///
+/// See [`Client::request`].
+pub fn request(addr: &ServeAddr, line: &str) -> Result<Json, String> {
+    Client::connect(addr)?.request(line)
+}
+
+/// One-shot request that also checks the daemon's `ok` flag, surfacing
+/// its `error` text on refusal.
+///
+/// # Errors
+///
+/// Transport failures, plus any daemon-side `{"ok":false}` response.
+pub fn request_ok(addr: &ServeAddr, line: &str) -> Result<Json, String> {
+    let doc = request(addr, line)?;
+    if doc.get("ok").and_then(Json::as_bool) == Some(true) {
+        Ok(doc)
+    } else {
+        let why = doc
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("daemon refused the request");
+        Err(why.to_string())
+    }
+}
+
+/// Polls `ping` until the daemon answers or the timeout elapses —
+/// startup synchronization for scripts and CI.
+///
+/// # Errors
+///
+/// Returns the last connect/ping failure when time runs out.
+pub fn wait_ready(addr: &ServeAddr, timeout: Duration) -> Result<(), String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let last = match request_ok(addr, "{\"op\":\"ping\"}") {
+            Ok(_) => return Ok(()),
+            Err(e) => e,
+        };
+        if Instant::now() >= deadline {
+            return Err(format!("daemon at {addr} not ready: {last}"));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_ready_times_out_against_nothing() {
+        let addr = ServeAddr::Unix(std::env::temp_dir().join(format!(
+            "minnow-serve-nothing-{}.sock",
+            std::process::id()
+        )));
+        let err = wait_ready(&addr, Duration::from_millis(60)).unwrap_err();
+        assert!(err.contains("not ready"), "{err}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Transport plumbing: a stream that is either a Unix domain socket or
+//! a TCP connection, address parsing, and capped line I/O.
+//!
+//! The daemon, its workers, and its clients all speak newline-delimited
+//! JSON; every line read anywhere in the crate goes through
+//! [`read_line_capped`] so an oversized (or hostile) payload is
+//! detected *before* it is buffered whole.
+
+use std::io::{BufRead, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+/// A connected byte stream over either transport.
+#[derive(Debug)]
+pub enum Stream {
+    /// Unix domain socket.
+    Unix(UnixStream),
+    /// TCP connection.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// An independent handle to the same connection (for split
+    /// read/write halves).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS `dup` failure.
+    pub fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+        })
+    }
+
+    /// Shuts down both directions, unblocking any reader.
+    pub fn shutdown(&self) {
+        match self {
+            Stream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A daemon address: a socket path (anything containing `/`) or a TCP
+/// `host:port`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeAddr {
+    /// Unix-domain socket path.
+    Unix(PathBuf),
+    /// TCP `host:port`.
+    Tcp(String),
+}
+
+impl ServeAddr {
+    /// Parses an address: text containing a `/` is a socket path,
+    /// anything else a TCP `host:port`.
+    pub fn parse(text: &str) -> ServeAddr {
+        if text.contains('/') {
+            ServeAddr::Unix(PathBuf::from(text))
+        } else {
+            ServeAddr::Tcp(text.to_string())
+        }
+    }
+
+    /// Connects to the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS connect failure.
+    pub fn connect(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            ServeAddr::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
+            ServeAddr::Tcp(addr) => Stream::Tcp(TcpStream::connect(addr.as_str())?),
+        })
+    }
+}
+
+impl std::fmt::Display for ServeAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeAddr::Unix(p) => write!(f, "{}", p.display()),
+            ServeAddr::Tcp(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// Outcome of a capped line read.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LineRead {
+    /// A complete line (newline stripped).
+    Line(String),
+    /// Clean end of stream (or a torn trailing fragment).
+    Eof,
+    /// The line exceeded the cap; the stream is desynchronized and must
+    /// be dropped after an error reply.
+    Oversized,
+}
+
+/// Reads one `\n`-terminated line, refusing to buffer more than `cap`
+/// bytes.
+///
+/// # Errors
+///
+/// Propagates transport errors; non-UTF-8 lines surface as
+/// `InvalidData`.
+pub fn read_line_capped<R: BufRead>(reader: &mut R, cap: u64) -> std::io::Result<LineRead> {
+    let mut buf = Vec::new();
+    let n = reader.by_ref().take(cap).read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(LineRead::Eof);
+    }
+    if !buf.ends_with(b"\n") {
+        return if n as u64 == cap {
+            Ok(LineRead::Oversized)
+        } else {
+            // The peer vanished mid-line; nothing complete to hand up.
+            Ok(LineRead::Eof)
+        };
+    }
+    buf.pop();
+    if buf.ends_with(b"\r") {
+        buf.pop();
+    }
+    String::from_utf8(buf)
+        .map(LineRead::Line)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Writes `line` plus a newline and flushes.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_line<W: Write>(writer: &mut W, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn addresses_parse_by_shape() {
+        assert_eq!(
+            ServeAddr::parse("/tmp/minnow.sock"),
+            ServeAddr::Unix(PathBuf::from("/tmp/minnow.sock"))
+        );
+        assert_eq!(
+            ServeAddr::parse("127.0.0.1:7070"),
+            ServeAddr::Tcp("127.0.0.1:7070".into())
+        );
+        assert_eq!(
+            ServeAddr::parse("./serve.sock"),
+            ServeAddr::Unix(PathBuf::from("./serve.sock"))
+        );
+    }
+
+    #[test]
+    fn capped_reads_distinguish_lines_eof_and_oversize() {
+        let mut r = BufReader::new(&b"hello\nworld"[..]);
+        assert_eq!(read_line_capped(&mut r, 64).unwrap(), LineRead::Line("hello".into()));
+        // Torn trailing fragment under the cap: EOF, not a line.
+        assert_eq!(read_line_capped(&mut r, 64).unwrap(), LineRead::Eof);
+        let mut r = BufReader::new(&b"abcdefghij\n"[..]);
+        assert_eq!(read_line_capped(&mut r, 4).unwrap(), LineRead::Oversized);
+        let mut r = BufReader::new(&b"crlf\r\nrest\n"[..]);
+        assert_eq!(read_line_capped(&mut r, 64).unwrap(), LineRead::Line("crlf".into()));
+        assert_eq!(read_line_capped(&mut r, 64).unwrap(), LineRead::Line("rest".into()));
+        let mut r = BufReader::new(&b""[..]);
+        assert_eq!(read_line_capped(&mut r, 64).unwrap(), LineRead::Eof);
+    }
+
+    #[test]
+    fn exact_cap_length_line_still_parses() {
+        // A line of exactly `cap` bytes *including* the newline fits.
+        let mut r = BufReader::new(&b"abc\n"[..]);
+        assert_eq!(read_line_capped(&mut r, 4).unwrap(), LineRead::Line("abc".into()));
+    }
+}

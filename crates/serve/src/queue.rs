@@ -1,0 +1,348 @@
+//! The bounded work queue between request handlers and executors.
+//!
+//! Handlers [`submit`](JobQueue::submit) evaluations that missed the
+//! store; local executor threads and remote-worker feeders pull them
+//! with [`next`](JobQueue::next) and publish outcomes with
+//! [`complete`](JobQueue::complete). Three behaviours live here:
+//!
+//! * **Single-flight.** Concurrent submissions with the same store key
+//!   coalesce onto one job: the duplicates just attach receivers, so N
+//!   identical requests cost exactly one simulation.
+//! * **Admission control.** The queue holds at most `cap` open jobs.
+//!   External submissions are rejected (with the pending depth, so the
+//!   caller can compute a retry-after hint); internal batch submissions
+//!   block until an executor frees a slot.
+//! * **Re-issue.** A feeder whose worker connection dies calls
+//!   [`requeue`](JobQueue::requeue); the job goes back to the head of
+//!   the ready list and the next puller — another worker or a local
+//!   executor — re-runs it. Determinism makes the re-run
+//!   indistinguishable from a first run.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+
+use minnow_bench::eval::EvalRequest;
+
+use crate::stats::ServeStats;
+use crate::store::StoredEval;
+
+/// A completed evaluation (or the error that prevented it).
+pub type EvalOutcome = Result<StoredEval, String>;
+
+/// One job pulled from the queue.
+#[derive(Debug, Clone)]
+pub struct QueueJob {
+    /// Queue-wide sequence number (acknowledgement key).
+    pub seq: u64,
+    /// The store key the result will be memoized under.
+    pub key: String,
+    /// The evaluation to run.
+    pub request: EvalRequest,
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Admission control: the queue is at capacity. Carries the number
+    /// of open jobs, for retry-after hints.
+    Full(usize),
+    /// The daemon is shutting down.
+    Shutdown,
+}
+
+#[derive(Debug)]
+struct Job {
+    key: String,
+    request: EvalRequest,
+    waiters: Vec<Sender<EvalOutcome>>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    next_seq: u64,
+    /// Jobs awaiting a puller, oldest first (requeues jump the line).
+    ready: VecDeque<u64>,
+    /// Every open job (ready or running), by sequence number.
+    jobs: HashMap<u64, Job>,
+    /// Single-flight index: store key of every open job.
+    by_key: HashMap<String, u64>,
+    shutdown: bool,
+}
+
+/// The bounded single-flight queue. See the module docs.
+#[derive(Debug)]
+pub struct JobQueue {
+    state: Mutex<State>,
+    /// Signalled when `ready` gains a job or shutdown begins.
+    ready_cv: Condvar,
+    /// Signalled when an open-job slot frees up.
+    space_cv: Condvar,
+    cap: usize,
+    stats: Arc<ServeStats>,
+}
+
+impl JobQueue {
+    /// A queue admitting at most `cap` open jobs (floor 1).
+    pub fn new(cap: usize, stats: Arc<ServeStats>) -> JobQueue {
+        JobQueue {
+            state: Mutex::new(State::default()),
+            ready_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            cap: cap.max(1),
+            stats,
+        }
+    }
+
+    /// Submits an evaluation, returning the receiver its outcome will
+    /// arrive on. A submission whose key is already in flight attaches
+    /// to the existing job regardless of capacity. Otherwise, when the
+    /// queue is full, `block` selects between waiting for a slot
+    /// (internal batches) and [`SubmitError::Full`] (external
+    /// requests).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] (non-blocking, at capacity) or
+    /// [`SubmitError::Shutdown`].
+    pub fn submit(
+        &self,
+        request: EvalRequest,
+        key: String,
+        block: bool,
+    ) -> Result<Receiver<EvalOutcome>, SubmitError> {
+        let (tx, rx) = channel();
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if state.shutdown {
+                return Err(SubmitError::Shutdown);
+            }
+            if let Some(seq) = state.by_key.get(&key).copied() {
+                let job = state.jobs.get_mut(&seq).expect("indexed job exists");
+                job.waiters.push(tx);
+                ServeStats::bump(&self.stats.coalesced);
+                return Ok(rx);
+            }
+            if state.jobs.len() < self.cap {
+                break;
+            }
+            if !block {
+                ServeStats::bump(&self.stats.rejected);
+                return Err(SubmitError::Full(state.jobs.len()));
+            }
+            state = self.space_cv.wait(state).unwrap();
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.by_key.insert(key.clone(), seq);
+        state.jobs.insert(
+            seq,
+            Job {
+                key,
+                request,
+                waiters: vec![tx],
+            },
+        );
+        state.ready.push_back(seq);
+        ServeStats::bump(&self.stats.inflight);
+        self.ready_cv.notify_one();
+        Ok(rx)
+    }
+
+    /// Blocks until a job is ready (returning it) or the queue shuts
+    /// down (returning `None`). The job stays open — and keeps its
+    /// queue slot — until [`complete`](JobQueue::complete)d or
+    /// [`requeue`](JobQueue::requeue)d.
+    pub fn next(&self) -> Option<QueueJob> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(seq) = state.ready.pop_front() {
+                let job = state.jobs.get(&seq).expect("ready job exists");
+                return Some(QueueJob {
+                    seq,
+                    key: job.key.clone(),
+                    request: job.request.clone(),
+                });
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self.ready_cv.wait(state).unwrap();
+        }
+    }
+
+    /// Returns a pulled-but-unacknowledged job to the head of the ready
+    /// list (worker connection died). A job that was completed in the
+    /// meantime is dropped silently.
+    pub fn requeue(&self, job: QueueJob) {
+        let mut state = self.state.lock().unwrap();
+        if state.jobs.contains_key(&job.seq) && !state.ready.contains(&job.seq) {
+            state.ready.push_front(job.seq);
+            ServeStats::bump(&self.stats.requeues);
+            self.ready_cv.notify_one();
+        }
+    }
+
+    /// Publishes a job's outcome to every attached waiter and frees its
+    /// slot.
+    pub fn complete(&self, seq: u64, outcome: &EvalOutcome) {
+        let mut state = self.state.lock().unwrap();
+        let Some(job) = state.jobs.remove(&seq) else {
+            return; // duplicate ack (e.g. requeued job finished twice)
+        };
+        if state.by_key.get(&job.key) == Some(&seq) {
+            state.by_key.remove(&job.key);
+        }
+        ServeStats::drop_gauge(&self.stats.inflight);
+        for waiter in job.waiters {
+            let _ = waiter.send(outcome.clone());
+        }
+        self.space_cv.notify_all();
+    }
+
+    /// Begins shutdown: fails every open job's waiters and wakes every
+    /// blocked `next`/`submit`.
+    pub fn shutdown(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.shutdown = true;
+        state.ready.clear();
+        state.by_key.clear();
+        for (_, job) in state.jobs.drain() {
+            ServeStats::drop_gauge(&self.stats.inflight);
+            for waiter in job.waiters {
+                let _ = waiter.send(Err("daemon shutting down".into()));
+            }
+        }
+        self.ready_cv.notify_all();
+        self.space_cv.notify_all();
+    }
+
+    /// Jobs awaiting a puller.
+    pub fn pending(&self) -> usize {
+        self.state.lock().unwrap().ready.len()
+    }
+
+    /// Open jobs (ready or running) — the quantity admission control
+    /// caps.
+    pub fn open_jobs(&self) -> usize {
+        self.state.lock().unwrap().jobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minnow_algos::WorkloadKind;
+    use minnow_bench::eval::EvalReport;
+    use minnow_bench::runner::BenchRun;
+    use std::sync::atomic::Ordering;
+
+    fn request(id: &str) -> EvalRequest {
+        EvalRequest {
+            id: id.into(),
+            run: BenchRun::minnow(WorkloadKind::Bfs, 2),
+        }
+    }
+
+    fn outcome(makespan: u64) -> EvalOutcome {
+        Ok(StoredEval {
+            report: EvalReport {
+                makespan,
+                ..EvalReport::default()
+            },
+            sim_wall_us: 1,
+        })
+    }
+
+    #[test]
+    fn duplicate_keys_coalesce_onto_one_job() {
+        let stats = Arc::new(ServeStats::new());
+        let q = JobQueue::new(8, Arc::clone(&stats));
+        let rx1 = q.submit(request("a"), "k".into(), false).unwrap();
+        let rx2 = q.submit(request("a'"), "k".into(), false).unwrap();
+        assert_eq!(q.open_jobs(), 1, "second submit attached, not enqueued");
+        assert_eq!(stats.coalesced.load(Ordering::Relaxed), 1);
+        let job = q.next().unwrap();
+        assert_eq!(job.key, "k");
+        assert!(q.next_would_block());
+        q.complete(job.seq, &outcome(42));
+        assert_eq!(rx1.recv().unwrap().unwrap().report.makespan, 42);
+        assert_eq!(rx2.recv().unwrap().unwrap().report.makespan, 42);
+        assert_eq!(q.open_jobs(), 0);
+        assert_eq!(stats.inflight.load(Ordering::Relaxed), 0);
+        // The key is free again: a later submit is a fresh job.
+        let _rx3 = q.submit(request("a"), "k".into(), false).unwrap();
+        assert_eq!(q.open_jobs(), 1);
+        assert_eq!(stats.coalesced.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn admission_control_rejects_nonblocking_and_unblocks_blocking() {
+        let stats = Arc::new(ServeStats::new());
+        let q = Arc::new(JobQueue::new(1, Arc::clone(&stats)));
+        let _rx_a = q.submit(request("a"), "ka".into(), false).unwrap();
+        let err = q.submit(request("b"), "kb".into(), false).unwrap_err();
+        assert_eq!(err, SubmitError::Full(1));
+        assert_eq!(stats.rejected.load(Ordering::Relaxed), 1);
+
+        // A blocking submit parks until the slot frees.
+        let q2 = Arc::clone(&q);
+        let blocked = std::thread::spawn(move || {
+            let rx = q2.submit(request("b"), "kb".into(), true).unwrap();
+            rx.recv().unwrap().unwrap().report.makespan
+        });
+        let job_a = q.next().unwrap();
+        q.complete(job_a.seq, &outcome(1));
+        let job_b = q.next().unwrap();
+        assert_eq!(job_b.key, "kb");
+        q.complete(job_b.seq, &outcome(2));
+        assert_eq!(blocked.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn requeued_jobs_are_reissued_then_single_completion_wins() {
+        let stats = Arc::new(ServeStats::new());
+        let q = JobQueue::new(4, Arc::clone(&stats));
+        let rx = q.submit(request("a"), "k".into(), false).unwrap();
+        let first_pull = q.next().unwrap();
+        q.requeue(first_pull.clone());
+        assert_eq!(stats.requeues.load(Ordering::Relaxed), 1);
+        let second_pull = q.next().unwrap();
+        assert_eq!(second_pull.seq, first_pull.seq, "same job, re-issued");
+        q.complete(second_pull.seq, &outcome(9));
+        // A late duplicate ack (the dead worker's result arriving after
+        // all) is ignored.
+        q.complete(first_pull.seq, &outcome(10));
+        assert_eq!(rx.recv().unwrap().unwrap().report.makespan, 9);
+        assert!(rx.recv().is_err(), "exactly one outcome is delivered");
+        // Requeue of a completed job is dropped.
+        q.requeue(first_pull);
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn shutdown_fails_waiters_and_wakes_pullers() {
+        let stats = Arc::new(ServeStats::new());
+        let q = Arc::new(JobQueue::new(4, stats));
+        let rx = q.submit(request("a"), "k".into(), false).unwrap();
+        let pulled = q.next().unwrap(); // drain the ready list first
+        let q2 = Arc::clone(&q);
+        let puller = std::thread::spawn(move || q2.next());
+        q.shutdown();
+        let _ = pulled;
+        assert!(rx.recv().unwrap().is_err());
+        // The parked puller wakes with None once the ready list drains.
+        assert!(puller.join().unwrap().is_none());
+        assert_eq!(
+            q.submit(request("b"), "k2".into(), true).unwrap_err(),
+            SubmitError::Shutdown
+        );
+    }
+
+    impl JobQueue {
+        /// Test-only: `true` when no job is ready right now.
+        fn next_would_block(&self) -> bool {
+            self.state.lock().unwrap().ready.is_empty()
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Daemon-wide counters: the `serve_stats` block every `/stats`
+//! response and the shutdown summary report.
+//!
+//! Everything here is a monotonic `AtomicU64` except `inflight`, which
+//! is a gauge (submitted-but-unanswered evaluations). Counters are
+//! bumped with relaxed ordering — they are observability, not
+//! synchronization — and read as a consistent-enough snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use minnow_bench::json::JsonObject;
+
+/// The daemon's counter block. One instance is shared (via `Arc`) by
+/// the store, the queue, the executors, and the listeners.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Evaluations answered straight from the content-addressed store.
+    pub hits: AtomicU64,
+    /// Store lookups that missed and went to the queue.
+    pub misses: AtomicU64,
+    /// Entries evicted from the store by the size cap.
+    pub evictions: AtomicU64,
+    /// Gauge: evaluations submitted to the queue and not yet answered.
+    pub inflight: AtomicU64,
+    /// Duplicate concurrent requests that attached to an in-flight
+    /// evaluation instead of enqueuing a second simulation.
+    pub coalesced: AtomicU64,
+    /// Requests turned away by admission control (queue full).
+    pub rejected: AtomicU64,
+    /// Simulator invocations by this process's local executors.
+    pub sim_invocations: AtomicU64,
+    /// Results streamed back by remote workers.
+    pub worker_results: AtomicU64,
+    /// Jobs re-issued after a worker connection died mid-evaluation.
+    pub requeues: AtomicU64,
+    /// Protocol requests handled (all ops, all transports).
+    pub requests: AtomicU64,
+}
+
+impl ServeStats {
+    /// A zeroed counter block.
+    pub fn new() -> ServeStats {
+        ServeStats::default()
+    }
+
+    fn get(c: &AtomicU64) -> u64 {
+        c.load(Ordering::Relaxed)
+    }
+
+    /// Bumps a counter by one (relaxed).
+    pub fn bump(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements a gauge by one (relaxed, saturating at zero in
+    /// practice because every decrement pairs with an increment).
+    pub fn drop_gauge(c: &AtomicU64) {
+        c.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Serializes the counter block as the canonical `serve_stats`
+    /// JSON object.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .u64("hits", Self::get(&self.hits))
+            .u64("misses", Self::get(&self.misses))
+            .u64("evictions", Self::get(&self.evictions))
+            .u64("inflight", Self::get(&self.inflight))
+            .u64("coalesced", Self::get(&self.coalesced))
+            .u64("rejected", Self::get(&self.rejected))
+            .u64("sim_invocations", Self::get(&self.sim_invocations))
+            .u64("worker_results", Self::get(&self.worker_results))
+            .u64("requeues", Self::get(&self.requeues))
+            .u64("requests", Self::get(&self.requests))
+            .finish()
+    }
+
+    /// The one-line human summary printed at daemon shutdown.
+    pub fn summary(&self) -> String {
+        format!(
+            "serve_stats: {} requests, {} hits / {} misses, {} coalesced, \
+             {} sims local + {} via workers ({} requeued), {} evicted, {} rejected",
+            Self::get(&self.requests),
+            Self::get(&self.hits),
+            Self::get(&self.misses),
+            Self::get(&self.coalesced),
+            Self::get(&self.sim_invocations),
+            Self::get(&self.worker_results),
+            Self::get(&self.requeues),
+            Self::get(&self.evictions),
+            Self::get(&self.rejected),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minnow_bench::json_read::Json;
+
+    #[test]
+    fn stats_serialize_every_counter() {
+        let s = ServeStats::new();
+        ServeStats::bump(&s.hits);
+        ServeStats::bump(&s.hits);
+        ServeStats::bump(&s.inflight);
+        ServeStats::drop_gauge(&s.inflight);
+        let doc = Json::parse(&s.to_json()).unwrap();
+        assert_eq!(doc.u64_field("hits").unwrap(), 2);
+        assert_eq!(doc.u64_field("inflight").unwrap(), 0);
+        for field in [
+            "misses",
+            "evictions",
+            "coalesced",
+            "rejected",
+            "sim_invocations",
+            "worker_results",
+            "requeues",
+            "requests",
+        ] {
+            assert_eq!(doc.u64_field(field).unwrap(), 0, "{field}");
+        }
+        assert!(s.summary().contains("2 hits"));
+    }
+}

@@ -13,7 +13,10 @@
 //! * [`bench`] — the experiment harness (figure benches, the parallel
 //!   sweep engine behind `minnow-sweep`),
 //! * [`explore`] — checkpointed design-space exploration with early
-//!   stopping and Pareto frontier extraction (`minnow-explore`).
+//!   stopping and Pareto frontier extraction (`minnow-explore`),
+//! * [`serve`] — the resident evaluation daemon: content-addressed
+//!   memoization, bounded work queue, journal-protocol remote workers
+//!   (`minnow-serve`, `minnow-client`).
 
 #![deny(missing_docs)]
 
@@ -24,4 +27,5 @@ pub use minnow_explore as explore;
 pub use minnow_graph as graph;
 pub use minnow_prefetch as prefetch;
 pub use minnow_runtime as runtime;
+pub use minnow_serve as serve;
 pub use minnow_sim as sim;

@@ -74,7 +74,9 @@ fn frontier_artifact_honors_the_v1_schema() {
                     baseline || optional == "credits",
                     "only baselines (or no-prefetch credits) may be null: {optional}"
                 ),
-                Json::Number(_) => assert!(!baseline, "baseline rows carry null axes"),
+                Json::Int(_) | Json::Number(_) => {
+                    assert!(!baseline, "baseline rows carry null axes");
+                }
                 other => panic!("{optional} must be number or null, got {other:?}"),
             }
         }
